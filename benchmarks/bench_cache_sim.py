@@ -1,0 +1,38 @@
+"""Substrate throughput: exact cache simulator accesses per second."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Cache, CacheSpec, MulticoreTraceSim, scaled_machine
+from repro.sim.config import CACHEGRIND_LIKE
+from repro.trace import MatmulTraceSpec, TraceChunk
+
+N = 1 << 17
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(5)
+    return TraceChunk.reads(rng.integers(0, 1 << 20, N, dtype=np.uint64) * 8)
+
+
+def test_single_level_throughput(benchmark, stream):
+    def run():
+        c = Cache(CacheSpec("bench", 64 * 1024, 64, 8))
+        c.access_chunk(stream)
+        return c.stats.accesses
+
+    accesses = benchmark(run)
+    assert accesses == N
+
+
+def test_matmul_trace_simulation(benchmark):
+    machine = scaled_machine(CACHEGRIND_LIKE, 256)
+    spec = MatmulTraceSpec.uniform(64, "mo")
+
+    def run():
+        sim = MulticoreTraceSim(machine, spec, threads=1, sockets_used=1)
+        return sim.run(rows=[31, 32]).l3.misses
+
+    misses = benchmark(run)
+    assert misses > 0

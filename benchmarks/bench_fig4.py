@@ -1,0 +1,21 @@
+"""FIG4: parallel speedup per ordering scheme (dual socket, 3 sizes)."""
+
+from repro.experiments import ExperimentRunner, fig4_speedup, render_series
+
+
+def test_fig4(benchmark, report):
+    def build():
+        return fig4_speedup(ExperimentRunner())
+
+    panels = benchmark(build)
+    text = []
+    for size, series in panels.items():
+        text.append(
+            render_series(
+                series,
+                f"Fig 4 — Size {size} (dual socket, ondemand)",
+                "p [# Threads]",
+                "Speedup S = T1 / Tp",
+            )
+        )
+    report("FIG 4 — PARALLEL SPEEDUP FOR ALL ORDERING SCHEMES", "\n\n".join(text))

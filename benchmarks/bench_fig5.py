@@ -1,0 +1,22 @@
+"""FIG5: row-major speedup with variable clock frequency."""
+
+from repro.experiments import ExperimentRunner, fig5_frequency_speedup, render_series
+
+
+def test_fig5(benchmark, report):
+    def build():
+        return fig5_frequency_speedup(ExperimentRunner())
+
+    panels = benchmark(build)
+    text = []
+    for size, series in panels.items():
+        text.append(
+            render_series(
+                series,
+                f"Fig 5 — Size {size} (RM, dual socket)",
+                "p [# Threads]",
+                "Speedup S = T1 / Tp",
+            )
+        )
+    report("FIG 5 — SPEEDUP OF RM ORDER WITH VARIABLE CLOCK FREQUENCY",
+           "\n\n".join(text))

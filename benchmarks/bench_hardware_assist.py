@@ -1,0 +1,23 @@
+"""ABL-HW: the paper's future-work scenario, quantified.
+
+Index-arithmetic variants over identical locality: plain Morton vs
+incremental dilated arithmetic, and the Lam–Shapiro Hilbert scan vs a
+hypothetical fused index instruction (Section VI's proposal).
+"""
+
+from repro.experiments import ExperimentRunner, run_hardware_assist_study
+
+
+def test_hardware_assist(benchmark, report):
+    def run():
+        return run_hardware_assist_study(runner=ExperimentRunner())
+
+    study = benchmark(run)
+    in_cache = run_hardware_assist_study(
+        size_exp=10, thread_config="1s", runner=ExperimentRunner()
+    )
+    report(
+        "ABL-HW — FUTURE WORK: DEDICATED INDEX HARDWARE (paper Section VI)",
+        study.summary() + "\n\n" + in_cache.summary(),
+    )
+    assert study.ho_hw_vs_mo < 1.0

@@ -1,0 +1,57 @@
+"""ABL-IDX: index-computation cost per ordering.
+
+Measures vectorized encode throughput for each curve and prints the op
+count / modelled cycle table behind the paper's RM < MO << HO ordering.
+"""
+
+import numpy as np
+import pytest
+
+from repro.curves import (
+    HilbertCurve,
+    MortonCurve,
+    RowMajorCurve,
+    TableHilbertCurve,
+    index_cost,
+)
+from repro.sim import cycles_per_iteration
+
+SIDE = 1 << 10
+N = 1 << 16
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(1)
+    y = rng.integers(0, SIDE, N, dtype=np.uint64)
+    x = rng.integers(0, SIDE, N, dtype=np.uint64)
+    return y, x
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [RowMajorCurve, MortonCurve, HilbertCurve, TableHilbertCurve],
+    ids=["rm", "mo", "ho", "holut"],
+)
+def test_encode_throughput(benchmark, points, cls):
+    curve = cls(SIDE)
+    y, x = points
+    out = benchmark(curve.encode, y, x)
+    assert len(out) == N
+
+
+def test_cost_table(benchmark, report):
+    def build():
+        rows = []
+        for bits in (10, 11, 12):
+            for scheme in ("rm", "mo", "ho"):
+                c = index_cost(scheme, bits)
+                cyc = cycles_per_iteration(scheme, 1 << bits)
+                rows.append((bits, scheme, c.total, cyc))
+        return rows
+
+    rows = benchmark(build)
+    lines = [f"{'bits':>5s} {'scheme':>7s} {'index ops':>10s} {'cyc/iter':>9s}"]
+    for bits, scheme, ops, cyc in rows:
+        lines.append(f"{bits:5d} {scheme.upper():>7s} {ops:10d} {cyc:9.1f}")
+    report("ABL-IDX — INDEX COST MODEL (paper Section II/IV)", "\n".join(lines))

@@ -1,0 +1,68 @@
+"""ABL-KER: kernel ablation — naive vs recursive vs tiled vs Peano.
+
+Real wall-clock over identical operands, including the Morton-native
+recursive kernel whose aligned blocks are contiguous buffer ranges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    morton_matmul_incremental,
+    naive_matmul,
+    peano_matmul,
+    random_pair,
+    recursive_matmul,
+    strassen_matmul,
+    tiled_matmul,
+)
+
+SIDE = 128
+
+
+@pytest.fixture(scope="module")
+def mo_operands():
+    return random_pair(SIDE, "mo", seed=3)
+
+
+def test_naive(benchmark, mo_operands):
+    a, b = mo_operands
+    benchmark(naive_matmul, a, b)
+
+
+def test_recursive(benchmark, mo_operands):
+    a, b = mo_operands
+    benchmark(recursive_matmul, a, b, None, 32)
+
+
+def test_tiled(benchmark, mo_operands):
+    a, b = mo_operands
+    benchmark(tiled_matmul, a, b, 32)
+
+
+def test_peano(benchmark):
+    a, b = random_pair(81, "po", seed=3)
+    benchmark(peano_matmul, a, b, None, 27)
+
+
+def test_strassen(benchmark, mo_operands):
+    a, b = mo_operands
+    benchmark(strassen_matmul, a, b, None, 32)
+
+
+def test_incremental(benchmark, mo_operands):
+    a, b = mo_operands
+    benchmark(morton_matmul_incremental, a, b)
+
+
+def test_numpy_reference(benchmark, mo_operands):
+    a, b = mo_operands
+    ad, bd = a.to_dense(), b.to_dense()
+    benchmark(np.matmul, ad, bd)
+
+
+def test_cholesky(benchmark):
+    from repro.kernels import cholesky, random_spd
+
+    a = random_spd(SIDE, "mo", seed=5)
+    benchmark(cholesky, a, 32)

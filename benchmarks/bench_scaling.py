@@ -1,0 +1,14 @@
+"""FIG4/FIG5 companion: full strong-scaling table (incl. single socket)."""
+
+from repro.experiments import ExperimentRunner, render_scaling_table, scaling_table
+
+
+def test_scaling_study(benchmark, report):
+    def build():
+        return scaling_table(ExperimentRunner())
+
+    rows = benchmark(build)
+    report(
+        "SCALING STUDY — SPEEDUP AND PARALLEL EFFICIENCY (all placements)",
+        render_scaling_table(rows),
+    )

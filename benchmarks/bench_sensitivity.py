@@ -1,0 +1,15 @@
+"""ABL-SENS: robustness of the headline findings to model parameters."""
+
+from repro.experiments import render_sensitivity, sensitivity_sweep
+
+
+def test_sensitivity_sweep(benchmark, report):
+    points = benchmark.pedantic(sensitivity_sweep, rounds=1, iterations=1)
+    held = sum(p.findings_hold for p in points)
+    report(
+        "ABL-SENS — PARAMETER SENSITIVITY OF THE HEADLINE FINDINGS",
+        render_sensitivity(points)
+        + f"\n\n{held}/{len(points)} perturbations keep both findings: "
+        "MO<RM out-of-cache and HO ~ an order slower than MO.",
+    )
+    assert held == len(points)

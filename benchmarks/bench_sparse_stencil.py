@@ -1,0 +1,49 @@
+"""ABL-SP/ABL-ST: sparse and stencil kernels over curve layouts."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import jacobi_step
+from repro.layout import CurveMatrix, CurveSparseMatrix
+
+SIDE = 128
+
+
+@pytest.fixture(scope="module")
+def sparse_operands():
+    rng = np.random.default_rng(11)
+    dense = rng.random((SIDE, SIDE))
+    dense[rng.random((SIDE, SIDE)) > 0.05] = 0.0
+    x = rng.random(SIDE)
+    return dense, x
+
+
+@pytest.mark.parametrize("layout", ["rm", "mo", "ho"])
+def test_spmv(benchmark, sparse_operands, layout):
+    dense, x = sparse_operands
+    sp = CurveSparseMatrix.from_dense(dense, layout)
+    out = benchmark(sp.matvec, x)
+    np.testing.assert_allclose(out, dense @ x, rtol=1e-10)
+
+
+def test_sparse_block_slice(benchmark, sparse_operands):
+    dense, _ = sparse_operands
+    sp = CurveSparseMatrix.from_dense(dense, "mo")
+
+    def slices():
+        return [
+            sp.block_slice(y0, x0, 32)
+            for y0 in range(0, SIDE, 32)
+            for x0 in range(0, SIDE, 32)
+        ]
+
+    out = benchmark(slices)
+    assert sum(s.stop - s.start for s in out) == sp.nnz
+
+
+@pytest.mark.parametrize("layout", ["rm", "mo"])
+def test_jacobi_step(benchmark, layout):
+    rng = np.random.default_rng(12)
+    m = CurveMatrix.from_dense(rng.random((SIDE, SIDE)), layout)
+    jacobi_step(m)  # warm the neighbour-table cache
+    benchmark(jacobi_step, m)

@@ -1,0 +1,15 @@
+"""TAB4: regenerate Table IV (absolute execution times, all 216 points)."""
+
+from repro.experiments import ExperimentRunner, full_grid, render_table4
+
+
+def test_table4(benchmark, report):
+    def sweep():
+        # Fresh runner per round: benchmark the actual 216-point sweep,
+        # not the cache lookup.
+        r = ExperimentRunner()
+        r.run_grid(full_grid())
+        return r
+
+    r = benchmark(sweep)
+    report("TABLE IV — ABSOLUTE EXECUTION TIMES [s]", render_table4(r))

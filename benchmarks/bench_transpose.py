@@ -1,0 +1,40 @@
+"""ABL-T: transposition — generic gather vs the Morton bit-swap path."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import morton_transpose_permutation, transpose
+from repro.layout import CurveMatrix
+
+SIDE = 512
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    rng = np.random.default_rng(9)
+    dense = rng.random((SIDE, SIDE))
+    return {
+        "rm": CurveMatrix.from_dense(dense, "rm"),
+        "mo": CurveMatrix.from_dense(dense, "mo"),
+        "ho": CurveMatrix.from_dense(dense, "ho"),
+    }
+
+
+def test_transpose_rowmajor(benchmark, matrices):
+    benchmark(transpose, matrices["rm"])
+
+
+def test_transpose_hilbert_generic(benchmark, matrices):
+    benchmark(transpose, matrices["ho"])
+
+
+def test_transpose_morton_bitswap(benchmark, matrices):
+    out = benchmark(transpose, matrices["mo"])
+    np.testing.assert_array_equal(
+        out.to_dense(), matrices["rm"].to_dense().T
+    )
+
+
+def test_permutation_generation(benchmark):
+    g = benchmark(morton_transpose_permutation, SIDE)
+    assert len(g) == SIDE * SIDE

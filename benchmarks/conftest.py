@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures: the timed body
+is the computation, and the rendered rows/series are printed straight to
+the terminal (bypassing capture) so ``pytest benchmarks/ --benchmark-only``
+output contains the artifacts themselves.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """One shared model/runner; the cache makes repeated sweeps cheap."""
+    return ExperimentRunner()
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a rendered artifact to the real terminal."""
+
+    def _emit(title: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n")
+
+    return _emit

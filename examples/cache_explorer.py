@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Exact cache simulation of the three orderings at scaled sizes.
+
+Drives the naive kernel's reference stream through the set-associative
+LRU hierarchy on a miniature Sandy Bridge (caches shrunk, capacity ratios
+preserved), showing the in-cache -> memory-bound transition per scheme,
+and reproduces the paper's Section IV-A cachegrind study (5 middle rows,
+LL read misses, HO vs MO).
+
+Run:  python examples/cache_explorer.py
+"""
+
+from repro.experiments import run_cachegrind_study
+from repro.sim import CacheSpec, MachineSpec, MulticoreTraceSim
+from repro.trace import MatmulTraceSpec
+
+
+def sweep_capacity_ratio() -> None:
+    l3 = 64 * 1024
+    machine = MachineSpec(
+        name="mini",
+        sockets=1,
+        cores_per_socket=1,
+        l1=CacheSpec("L1", 512, 64, 1),
+        l2=CacheSpec("L2", 2048, 64, 8),
+        l3=CacheSpec("L3", l3, 64, 16),
+    )
+    print(f"LLC misses per inner-loop iteration (mini machine, {l3 // 1024} KB L3)")
+    print(f"{'n':>5s} {'u':>7s} {'RM':>9s} {'MO':>9s} {'HO':>9s}")
+    for n in (32, 64, 128):
+        u = 3 * 8 * n * n / l3
+        row = [f"{n:5d}", f"{u:7.2f}"]
+        for scheme in ("rm", "mo", "ho"):
+            sim = MulticoreTraceSim(
+                machine, MatmulTraceSpec.uniform(n, scheme), threads=1
+            )
+            mid = n // 2
+            sim.run(rows=[mid - 1])  # warm-up
+            before = sim.result().l3.misses
+            sim.run(rows=[mid, mid + 1])
+            mpi = (sim.result().l3.misses - before) / (2 * n * n)
+            row.append(f"{mpi:9.4f}")
+        print(" ".join(row))
+    print("Below u~3 everything fits (no scheme matters); above it RM pays")
+    print("~1 miss per iteration while the curves pay ~an eighth — the")
+    print("locality the paper trades computation for.\n")
+
+
+def multicore_demo() -> None:
+    machine = MachineSpec(
+        name="mini-2x2",
+        sockets=2,
+        cores_per_socket=2,
+        l1=CacheSpec("L1", 512, 64, 1),
+        l2=CacheSpec("L2", 2048, 64, 8),
+        l3=CacheSpec("L3", 32 * 1024, 64, 16),
+    )
+    print("Thread placement at the shared L3 (n=96 rows over threads):")
+    spec = MatmulTraceSpec.uniform(64, "mo")
+    for threads, sockets, label in ((1, 1, "1s"), (2, 1, "2s"), (2, 2, "2d")):
+        sim = MulticoreTraceSim(machine, spec, threads=threads, sockets_used=sockets)
+        r = sim.run(rows=range(16))
+        print(f"  {label}: L1 misses {r.l1.misses:7,d}  "
+              f"LL misses {r.l3.misses:7,d}  DRAM lines {r.dram_lines:7,d}")
+    print()
+
+
+def cachegrind_study() -> None:
+    print("Section IV-A study (scaled to the paper's capacity ratio u~19.7):")
+    study = run_cachegrind_study(schemes=("rm", "mo", "ho"))
+    print(study.summary())
+    print()
+    print("Per-matrix attribution (cg_annotate style), Morton order:")
+    print(study.reports["mo"].annotate())
+
+
+def main() -> None:
+    sweep_capacity_ratio()
+    multicore_demo()
+    cachegrind_study()
+
+
+if __name__ == "__main__":
+    main()

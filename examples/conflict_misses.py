@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Why row-major really loses at 2^n sizes: conflict misses.
+
+The paper benchmarks square matrices of side 2^10..2^12 — exactly the
+sizes where row-major's column walk strides by a power of two and cycles
+through a handful of cache sets.  This walk-through decomposes each
+ordering's misses into capacity misses (what a fully-associative cache of
+the same size would take; Mattson's one-pass stack analysis) and conflict
+misses (the rest, from the exact set-associative simulator), then shows
+the classic practitioner's fix — padding the leading dimension — and why
+curve layouts never need it.
+
+Run:  python examples/conflict_misses.py
+"""
+
+import numpy as np
+
+from repro.experiments import render_mrc, run_mrc_study
+from repro.sim import Cache, CacheSpec
+from repro.trace import TraceChunk
+
+
+def decomposition() -> None:
+    print("=== Capacity vs conflict misses per ordering ===")
+    curves = run_mrc_study()
+    print(render_mrc(curves))
+    rm = curves[0]
+    print(f"\nAt u=4, {rm.conflict_share(4.0):.0%} of RM's misses are conflict")
+    print("misses; a fully-associative cache would barely miss at all. The")
+    print("curve layouts emit no long constant stride, so they are immune.\n")
+
+
+def padding_fix() -> None:
+    print("=== The classic fix: pad the leading dimension ===")
+    spec = CacheSpec("demo", 32 * 1024, 64, 8)
+    n = 512
+    for label, stride in (("8n (power of two)", n * 8), ("8n + 64 (padded)", n * 8 + 64)):
+        cache = Cache(spec)
+        col = np.arange(n, dtype=np.uint64) * stride
+        for _ in range(3):
+            cache.access_chunk(TraceChunk.reads(col))
+        print(f"  column sweeps x3, stride {label:20s}: "
+              f"{cache.stats.hits:5d} hits / {cache.stats.accesses} accesses")
+    print("\nPadding scatters the column across sets and restores reuse —")
+    print("one more architecture-specific tweak that Morton/Hilbert storage")
+    print("makes unnecessary (their aligned blocks spread over sets by")
+    print("construction).")
+
+
+def main() -> None:
+    decomposition()
+    padding_fix()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Curve gallery: the paper's Figures 1 and 2, plus locality metrics.
+
+Renders the Morton and Hilbert traversals of a 4x4 matrix (Fig. 1), the
+inductive construction steps (Fig. 2), the Peano extension, and a table of
+quantitative locality metrics showing the "inherent tiling effect".
+
+Run:  python examples/curve_gallery.py
+"""
+
+from repro import HilbertCurve, MortonCurve, PeanoCurve, RowMajorCurve
+from repro.curves import (
+    average_jump,
+    hilbert_sequence,
+    morton_sequence,
+    peano_sequence,
+    render_traversal_grid,
+    render_traversal_path,
+    tile_span,
+    window_working_set,
+)
+
+
+def side_by_side(left: str, right: str, gap: int = 6) -> str:
+    ll = left.splitlines()
+    rl = right.splitlines()
+    width = max(len(l) for l in ll)
+    out = []
+    for i in range(max(len(ll), len(rl))):
+        a = ll[i] if i < len(ll) else ""
+        b = rl[i] if i < len(rl) else ""
+        out.append(a.ljust(width + gap) + b)
+    return "\n".join(out)
+
+
+def main() -> None:
+    print("=== Fig. 1: traversal of 4x4 matrices in Morton and Hilbert order ===")
+    mo4, ho4 = morton_sequence(2), hilbert_sequence(2)
+    print(side_by_side("Morton:\n" + render_traversal_grid(mo4),
+                       "Hilbert:\n" + render_traversal_grid(ho4)))
+    print()
+    print(side_by_side(render_traversal_path(mo4), render_traversal_path(ho4)))
+    print("\nNote the Morton order's jumps between quadrants — the gaps in the")
+    print("left path — which the Hilbert rotation eliminates (Section II-B).\n")
+
+    print("=== Fig. 2: inductive construction (orders 1 -> 3) ===")
+    for order in (1, 2, 3):
+        print(f"\nHilbert order {order} ({2**order}x{2**order}):")
+        print(render_traversal_path(hilbert_sequence(order)))
+
+    print("\n=== Peano extension (order 2, 9x9) ===")
+    print(render_traversal_path(peano_sequence(2)))
+
+    print("\n=== Locality metrics, 64x64 grid ===")
+    curves = {
+        "RM": RowMajorCurve(64),
+        "MO": MortonCurve(64),
+        "HO": HilbertCurve(64),
+    }
+    print(f"{'curve':>6s} {'row-walk jump':>14s} {'col-walk jump':>14s} "
+          f"{'col window WS':>14s} {'8x8 tile span':>14s}")
+    for name, curve in curves.items():
+        ws = window_working_set(curve, axis=0, window=64, line_elems=8).mean()
+        span = tile_span(curve, 8).max()
+        print(f"{name:>6s} {average_jump(curve, 1):14.1f} "
+              f"{average_jump(curve, 0):14.1f} {ws:14.1f} {span:14d}")
+    print("\nMorton/Hilbert aligned tiles are exactly contiguous (span 64 =")
+    print("8*8): multi-level tiling for free, no architecture parameters.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Beyond matmul: sparse matrices and stencils over curve layouts.
+
+Two workloads from the paper's motivating context (related work extends
+the curve approach to sparse multiplication; stencils are the canonical
+neighbour-access pattern):
+
+  * a curve-sorted sparse matrix whose aligned blocks are contiguous entry
+    slices (two binary searches per block), driving SpMV, and
+  * a five-point Jacobi stencil whose neighbour gathers ride the same
+    index machinery.
+
+Run:  python examples/sparse_and_stencil.py
+"""
+
+import numpy as np
+
+from repro.kernels import jacobi_step
+from repro.layout import CurveMatrix, CurveSparseMatrix
+
+
+def sparse_demo() -> None:
+    print("=== Curve-sorted sparse matrices ===")
+    rng = np.random.default_rng(0)
+    n = 64
+    dense = rng.random((n, n))
+    dense[rng.random((n, n)) > 0.05] = 0.0  # ~5% density
+
+    sp = CurveSparseMatrix.from_dense(dense, "mo")
+    print(f"{sp!r}: density {sp.density:.1%}")
+
+    # Aligned blocks are contiguous slices of the entry arrays.
+    sl = sp.block_slice(32, 0, 32)
+    print(f"block (32,0)x32 holds entries [{sl.start}:{sl.stop}] "
+          f"({sl.stop - sl.start} nnz, = dense count "
+          f"{np.count_nonzero(dense[32:, :32])})")
+
+    x = rng.random(n)
+    np.testing.assert_allclose(sp.matvec(x), dense @ x, rtol=1e-12)
+    b = rng.random((n, n))
+    np.testing.assert_allclose(sp.matmul_dense(b), dense @ b, rtol=1e-12)
+    print("SpMV and SpMM match the dense reference.\n")
+
+
+def stencil_demo() -> None:
+    print("=== Five-point Jacobi over Morton storage ===")
+    n = 64
+    field = np.zeros((n, n))
+    field[n // 2, n // 2] = 1.0  # point source
+    m = CurveMatrix.from_dense(field, "mo")
+    for step in (1, 10, 100):
+        mm = m
+        for _ in range(step):
+            mm = jacobi_step(mm, center_weight=0.0, neighbor_weight=0.25,
+                             boundary="periodic")
+        f = mm.to_dense()
+        print(f"after {step:3d} steps: peak {f.max():.4f}, "
+              f"mass {f.sum():.4f} (conserved)")
+    print("Neighbour gathers run through cached Morton index tables —")
+    print("each offset is a dilated increment of the centre index.")
+
+
+def main() -> None:
+    sparse_demo()
+    stencil_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""sfc-energy-repro: Morton/Hilbert-ordered matrices plus a simulated
+Sandy Bridge time/energy substrate.
+
+Reproduction of Reissmann, Jahre & Meyer, *A Study of Energy and Locality
+Effects using Space-filling Curves* (2014).  The package splits into:
+
+* :mod:`repro.curves` — space-filling curves, dilated-integer arithmetic,
+  locality metrics, index-cost models (paper Section II).
+* :mod:`repro.layout` / :mod:`repro.kernels` — curve-ordered matrices and
+  the multiplication kernels over them (Section III-B).
+* :mod:`repro.trace` / :mod:`repro.sim` — memory traces, exact cache
+  simulation, and the calibrated analytic time/energy model standing in
+  for the paper's dual-socket Xeon E5-2670 platform (Sections III/IV).
+* :mod:`repro.perf` — PAPI-like counters, RAPL sampling at 10 Hz with
+  trapezoidal integration, cachegrind-style attribution (Section III).
+* :mod:`repro.experiments` — the 216-point grid, Table IV, Figures 4-6,
+  the cachegrind and ATLAS studies, and shape validation (Section IV).
+
+Quick start::
+
+    import numpy as np
+    from repro import CurveMatrix, recursive_matmul
+
+    a = CurveMatrix.from_dense(np.random.rand(256, 256), "mo")
+    b = CurveMatrix.from_dense(np.random.rand(256, 256), "mo")
+    c = recursive_matmul(a, b)          # cache-oblivious, Morton-native
+    dense = c.to_dense()
+"""
+
+from repro.errors import (
+    CalibrationError,
+    CurveDomainError,
+    ExperimentError,
+    KernelError,
+    LayoutError,
+    ReproError,
+    SimulationError,
+)
+from repro.curves import (
+    BlockRowMajorCurve,
+    ColumnMajorCurve,
+    HilbertCurve,
+    MortonCurve,
+    PeanoCurve,
+    RowMajorCurve,
+    SpaceFillingCurve,
+    available_curves,
+    get_curve,
+)
+from repro.layout import CurveMatrix, pad_to_pow2, relayout
+from repro.kernels import (
+    naive_matmul,
+    peano_matmul,
+    recursive_matmul,
+    reference_matmul,
+    tiled_matmul,
+)
+from repro.sim import PerformanceModel, SANDY_BRIDGE_E5_2670
+from repro.experiments import ExperimentRunner, SampleConfig, full_grid
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "CurveDomainError",
+    "LayoutError",
+    "KernelError",
+    "SimulationError",
+    "CalibrationError",
+    "ExperimentError",
+    # curves
+    "SpaceFillingCurve",
+    "RowMajorCurve",
+    "ColumnMajorCurve",
+    "BlockRowMajorCurve",
+    "MortonCurve",
+    "HilbertCurve",
+    "PeanoCurve",
+    "get_curve",
+    "available_curves",
+    # layout
+    "CurveMatrix",
+    "pad_to_pow2",
+    "relayout",
+    # kernels
+    "naive_matmul",
+    "recursive_matmul",
+    "tiled_matmul",
+    "peano_matmul",
+    "reference_matmul",
+    # simulation / experiments
+    "PerformanceModel",
+    "SANDY_BRIDGE_E5_2670",
+    "ExperimentRunner",
+    "SampleConfig",
+    "full_grid",
+]

@@ -1,0 +1,260 @@
+"""Command-line interface: regenerate the paper's artifacts from a shell.
+
+``sfc-repro <command>`` (or ``python -m repro.cli``):
+
+* ``table4``     — Table IV, all 216 sample points.
+* ``fig4``       — Fig. 4 speedup series per scheme.
+* ``fig5``       — Fig. 5 RM speedup vs frequency.
+* ``fig6``       — Fig. 6 energy-vs-time series (8s/8d).
+* ``predict``    — one sample point (scheme/size/frequency/threads).
+* ``validate``   — evaluate the paper's findings; non-zero exit on failure.
+* ``cachegrind`` — the Section IV-A LL-miss study.
+* ``atlas``      — the tiled-vs-naive wall-clock comparison.
+* ``hardware``   — the future-work index-hardware study.
+* ``gallery``    — Figures 1/2 as ASCII art.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="sfc-repro",
+        description="Reproduce 'A Study of Energy and Locality Effects "
+        "using Space-filling Curves' (Reissmann et al., 2014).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table4", help="print Table IV (absolute times)")
+    sub.add_parser("fig4", help="print Fig. 4 speedup series")
+    sub.add_parser("fig5", help="print Fig. 5 frequency speedup series")
+    sub.add_parser("fig6", help="print Fig. 6 energy/time series")
+    sub.add_parser("validate", help="check the paper's findings hold")
+
+    p = sub.add_parser("predict", help="model one sample point")
+    p.add_argument("--scheme", default="mo",
+                   help="ordering: rm/mo/ho (also mo-inc, ho-hw)")
+    p.add_argument("--size", type=int, default=11,
+                   help="problem size exponent (side = 2^size)")
+    p.add_argument("--frequency", default="2.6",
+                   help="GHz value or 'ondemand'")
+    p.add_argument("--threads", default="8s",
+                   help="thread config, e.g. 1s, 4s, 8s, 2d, 8d, 16d")
+
+    c = sub.add_parser("cachegrind", help="run the Section IV-A study")
+    c.add_argument("--n", type=int, default=128, help="scaled problem side")
+    c.add_argument("--rows", type=int, default=5, help="sampled output rows")
+    c.add_argument("--capacity-ratio", type=float, default=19.7,
+                   help="working set / LL size (paper size 12: ~19.7)")
+
+    a = sub.add_parser("atlas", help="tiled+tuned vs naive wall clock")
+    a.add_argument("--side", type=int, default=128)
+
+    h = sub.add_parser("hardware", help="future-work index-hardware study")
+    h.add_argument("--size", type=int, default=12)
+    h.add_argument("--threads", default="16d")
+
+    g = sub.add_parser("gallery", help="render Figures 1 and 2")
+    g.add_argument("--order", type=int, default=2)
+
+    e = sub.add_parser("edp", help="energy-delay-product optima per scheme")
+    e.add_argument("--threads", default="8s")
+
+    sub.add_parser("roofline", help="roofline placement per scheme/size")
+    sub.add_parser("scaling", help="speedup/efficiency over all placements")
+
+    r = sub.add_parser("report", help="full reproduction report (markdown)")
+    r.add_argument("--output", default=None,
+                   help="write to a file instead of stdout")
+    return parser
+
+
+def _cmd_table4(_args) -> int:
+    from repro.experiments import ExperimentRunner, render_table4
+
+    print(render_table4(ExperimentRunner()))
+    return 0
+
+
+def _cmd_fig4(_args) -> int:
+    from repro.experiments import ExperimentRunner, fig4_speedup, render_series
+
+    runner = ExperimentRunner()
+    for size, series in fig4_speedup(runner).items():
+        print(render_series(series, f"Fig 4 — size {size}", "threads", "speedup"))
+        print()
+    return 0
+
+
+def _cmd_fig5(_args) -> int:
+    from repro.experiments import ExperimentRunner, fig5_frequency_speedup, render_series
+
+    runner = ExperimentRunner()
+    for size, series in fig5_frequency_speedup(runner).items():
+        print(render_series(series, f"Fig 5 — size {size}", "threads", "speedup"))
+        print()
+    return 0
+
+
+def _cmd_fig6(_args) -> int:
+    from repro.experiments import ExperimentRunner, fig6_energy_time, render_series
+
+    runner = ExperimentRunner()
+    for (tc, size), series in fig6_energy_time(runner).items():
+        print(render_series(series, f"Fig 6 — {tc}, size {size}",
+                            "Energy [J]", "Time [s]"))
+        print()
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from repro.experiments import ExperimentRunner, SampleConfig
+
+    freq = args.frequency if args.frequency == "ondemand" else float(args.frequency)
+    cfg = SampleConfig(args.scheme, args.size, freq, args.threads)
+    r = ExperimentRunner().run(cfg)
+    print(f"{cfg.key}:")
+    print(f"  time    {r.seconds:10.2f} s  (compute {r.compute_seconds:.2f}, "
+          f"memory {r.memory_seconds:.2f})")
+    print(f"  clock   {r.freq_ghz:10.2f} GHz")
+    print(f"  misses  {r.llc_misses:10.3e} LLC lines")
+    print(f"  energy  {r.package_j:10.1f} J package "
+          f"({r.pp0_j:.1f} PP0, {r.dram_j:.1f} DRAM)")
+    return 0
+
+
+def _cmd_validate(_args) -> int:
+    from repro.experiments import ExperimentRunner, validate_all
+
+    claims = validate_all(ExperimentRunner())
+    failed = 0
+    for c in claims:
+        status = "PASS" if c.holds else "FAIL"
+        failed += not c.holds
+        print(f"[{status}] {c.name}: {c.detail}")
+    return 1 if failed else 0
+
+
+def _cmd_cachegrind(args) -> int:
+    from repro.experiments import run_cachegrind_study
+
+    study = run_cachegrind_study(
+        n=args.n, capacity_ratio=args.capacity_ratio, n_rows=args.rows,
+        schemes=("rm", "mo", "ho"),
+    )
+    print(study.summary())
+    print()
+    print(study.reports["mo"].annotate())
+    return 0
+
+
+def _cmd_atlas(args) -> int:
+    from repro.experiments import run_atlas_comparison
+
+    print(run_atlas_comparison(side=args.side).summary())
+    return 0
+
+
+def _cmd_hardware(args) -> int:
+    from repro.experiments import run_hardware_assist_study
+
+    print(run_hardware_assist_study(
+        size_exp=args.size, thread_config=args.threads
+    ).summary())
+    return 0
+
+
+def _cmd_gallery(args) -> int:
+    from repro.curves import (
+        hilbert_sequence,
+        morton_sequence,
+        render_traversal_grid,
+        render_traversal_path,
+    )
+
+    print(f"Morton, order {args.order}:")
+    print(render_traversal_grid(morton_sequence(args.order)))
+    print(render_traversal_path(morton_sequence(args.order)))
+    print(f"\nHilbert, order {args.order}:")
+    print(render_traversal_grid(hilbert_sequence(args.order)))
+    print(render_traversal_path(hilbert_sequence(args.order)))
+    return 0
+
+
+def _cmd_edp(args) -> int:
+    from repro.experiments import ExperimentRunner, edp_table, render_edp_table
+
+    print(render_edp_table(edp_table(ExperimentRunner(), thread_config=args.threads)))
+    return 0
+
+
+def _cmd_roofline(_args) -> int:
+    from repro.experiments import ExperimentRunner, render_roofline_table, roofline_table
+
+    print(render_roofline_table(roofline_table(ExperimentRunner())))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments import generate_report
+
+    text = generate_report()
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_scaling(_args) -> int:
+    from repro.experiments import ExperimentRunner, render_scaling_table, scaling_table
+
+    print(render_scaling_table(scaling_table(ExperimentRunner())))
+    return 0
+
+
+_COMMANDS = {
+    "table4": _cmd_table4,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "predict": _cmd_predict,
+    "validate": _cmd_validate,
+    "cachegrind": _cmd_cachegrind,
+    "atlas": _cmd_atlas,
+    "hardware": _cmd_hardware,
+    "gallery": _cmd_gallery,
+    "edp": _cmd_edp,
+    "roofline": _cmd_roofline,
+    "scaling": _cmd_scaling,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code.
+
+    Library errors (bad scheme names, malformed thread configs, ...) are
+    reported on stderr with exit code 2 instead of a traceback.
+    """
+    from repro.errors import ReproError
+
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, ValueError, KeyError) as exc:
+        print(f"sfc-repro: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

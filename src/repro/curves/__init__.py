@@ -1,0 +1,98 @@
+"""Space-filling curves and element orderings (paper Section II).
+
+Public surface: the :class:`~repro.curves.base.SpaceFillingCurve` interface,
+the concrete orderings (row/column-major, block row-major, Morton, Hilbert,
+Peano), Raman–Wise dilation arithmetic, inductive constructions and
+rendering, locality metrics, and the index-computation cost model.
+"""
+
+from repro.curves.base import (
+    SpaceFillingCurve,
+    available_curves,
+    get_curve,
+    register_curve,
+)
+from repro.curves.dilation import (
+    contract2,
+    contract2_array,
+    contract3,
+    contract3_array,
+    dilate2,
+    dilate2_array,
+    dilate3,
+    dilate3_array,
+    dilated_add2,
+    dilated_increment2,
+)
+from repro.curves.rowmajor import BlockRowMajorCurve, ColumnMajorCurve, RowMajorCurve
+from repro.curves.morton import MortonCurve, morton_decode3, morton_encode3
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.hilbert_table import TableHilbertCurve
+from repro.curves.gray import GrayMortonCurve, gray_decode, gray_encode
+from repro.curves.ndmorton import (
+    max_bits_for_dims,
+    nd_morton_decode,
+    nd_morton_encode,
+)
+from repro.curves.peano import PeanoCurve
+from repro.curves.generator import (
+    hilbert_sequence,
+    morton_sequence,
+    peano_sequence,
+    render_traversal_grid,
+    render_traversal_path,
+)
+from repro.curves.analysis import (
+    address_jump_profile,
+    average_jump,
+    continuity_profile,
+    tile_span,
+    window_working_set,
+)
+from repro.curves.cost import SCHEMES, IndexOpCount, index_cost, scheme_display_name
+
+__all__ = [
+    "SpaceFillingCurve",
+    "available_curves",
+    "get_curve",
+    "register_curve",
+    "RowMajorCurve",
+    "ColumnMajorCurve",
+    "BlockRowMajorCurve",
+    "MortonCurve",
+    "HilbertCurve",
+    "TableHilbertCurve",
+    "GrayMortonCurve",
+    "gray_encode",
+    "gray_decode",
+    "PeanoCurve",
+    "morton_encode3",
+    "morton_decode3",
+    "nd_morton_encode",
+    "nd_morton_decode",
+    "max_bits_for_dims",
+    "dilate2",
+    "contract2",
+    "dilate3",
+    "contract3",
+    "dilate2_array",
+    "contract2_array",
+    "dilate3_array",
+    "contract3_array",
+    "dilated_add2",
+    "dilated_increment2",
+    "morton_sequence",
+    "hilbert_sequence",
+    "peano_sequence",
+    "render_traversal_grid",
+    "render_traversal_path",
+    "continuity_profile",
+    "address_jump_profile",
+    "average_jump",
+    "window_working_set",
+    "tile_span",
+    "SCHEMES",
+    "IndexOpCount",
+    "index_cost",
+    "scheme_display_name",
+]

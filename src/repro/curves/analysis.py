@@ -1,0 +1,116 @@
+"""Quantitative locality metrics for element orderings.
+
+The paper motivates Morton/Hilbert storage by their "inherent tiling effect"
+(Section I) and explains Morton's residual discontinuities between quadrants
+(Section II-B).  This module turns those qualitative statements into numbers
+that the test suite and the ABL-LOC ablation benchmark check:
+
+* :func:`continuity_profile` — grid distance between successive curve points
+  (Hilbert: always 1; Morton: jumps at quadrant boundaries; row-major: jump
+  of ``side - 1`` at each row end in grid terms).
+* :func:`address_jump_profile` — memory-index distance when *walking the
+  grid* row-wise or column-wise, i.e. the access pattern a naive matmul
+  imposes on each layout.
+* :func:`window_working_set` — distinct cache lines touched per fixed-size
+  window of a walk: a direct, machine-light proxy for cache footprint.
+* :func:`tile_span` — memory span of aligned ``t x t`` tiles: the tiling
+  effect itself (Morton tiles of power-of-two side are exactly contiguous).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve
+from repro.util.validation import check_positive
+
+__all__ = [
+    "continuity_profile",
+    "address_jump_profile",
+    "window_working_set",
+    "tile_span",
+    "average_jump",
+]
+
+
+def continuity_profile(curve: SpaceFillingCurve) -> np.ndarray:
+    """Manhattan grid distances between consecutive curve positions.
+
+    Returns an ``int64`` array of length ``npoints - 1``.  A space-filling
+    curve is *continuous* iff every entry equals 1.
+    """
+    ys, xs = curve.traversal()
+    y = ys.astype(np.int64)
+    x = xs.astype(np.int64)
+    return np.abs(np.diff(y)) + np.abs(np.diff(x))
+
+
+def address_jump_profile(curve: SpaceFillingCurve, axis: int = 1) -> np.ndarray:
+    """Memory-index jumps while walking the grid along ``axis``.
+
+    ``axis=1`` walks each row left to right (the A-matrix pattern of the
+    naive kernel); ``axis=0`` walks each column top to bottom (the B-matrix
+    pattern).  Returns the absolute index difference for each step inside a
+    line of the walk, flattened across lines.
+    """
+    if axis not in (0, 1):
+        raise ValueError(f"axis must be 0 or 1, got {axis!r}")
+    grid = curve.position_grid().astype(np.int64)
+    if axis == 0:
+        grid = grid.T
+    return np.abs(np.diff(grid, axis=1)).ravel()
+
+
+def average_jump(curve: SpaceFillingCurve, axis: int = 1) -> float:
+    """Mean of :func:`address_jump_profile` — a scalar locality score."""
+    return float(address_jump_profile(curve, axis).mean())
+
+
+def window_working_set(
+    curve: SpaceFillingCurve,
+    axis: int = 1,
+    window: int = 256,
+    line_elems: int = 8,
+) -> np.ndarray:
+    """Distinct cache lines per non-overlapping window of a grid walk.
+
+    The walk visits the grid along ``axis`` (as in
+    :func:`address_jump_profile`); accesses are grouped into consecutive
+    windows of ``window`` elements, and for each window the number of
+    distinct ``line_elems``-sized memory lines is counted.  Lower is better:
+    a layout with good spatial locality keeps each burst of accesses on few
+    lines.  ``line_elems=8`` corresponds to a 64-byte line of doubles.
+    """
+    check_positive(window, "window")
+    check_positive(line_elems, "line_elems")
+    grid = curve.position_grid().astype(np.int64)
+    if axis == 0:
+        grid = grid.T
+    addrs = grid.ravel() // line_elems
+    nwin = len(addrs) // window
+    if nwin == 0:
+        raise ValueError(
+            f"window {window} larger than the walk ({len(addrs)} accesses)"
+        )
+    counts = np.empty(nwin, dtype=np.int64)
+    for w in range(nwin):
+        counts[w] = np.unique(addrs[w * window : (w + 1) * window]).size
+    return counts
+
+
+def tile_span(curve: SpaceFillingCurve, tile: int) -> np.ndarray:
+    """Memory span (max index - min index + 1) of each aligned tile.
+
+    A span equal to ``tile**2`` means the tile is stored contiguously — the
+    multi-level tiling property of the Morton order (and, per orientation,
+    the Hilbert order).  Row-major tiles span ``(tile-1)*side + tile``.
+    """
+    check_positive(tile, "tile")
+    n = curve.side
+    if n % tile:
+        raise ValueError(f"tile {tile} must divide side {n}")
+    grid = curve.position_grid().astype(np.int64)
+    t = tile
+    blocks = grid.reshape(n // t, t, n // t, t).transpose(0, 2, 1, 3)
+    flat = blocks.reshape(-1, t * t)
+    return flat.max(axis=1) - flat.min(axis=1) + 1

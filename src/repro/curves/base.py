@@ -1,0 +1,161 @@
+"""Abstract interface and registry for two-dimensional element orderings.
+
+A :class:`SpaceFillingCurve` maps the coordinates of an ``side x side`` grid
+bijectively onto the linear index range ``[0, side**2)``.  The *y* coordinate
+is the **major** coordinate throughout, matching the paper's Fig. 3 (where
+``y`` varies vertically and contributes the higher interleaved bits).
+
+Conventions
+-----------
+* ``encode(y, x) -> d`` returns the position of element ``(y, x)`` along the
+  curve; ``decode(d) -> (y, x)`` is its inverse.
+* Both accept Python ints or NumPy integer arrays and are vectorized; array
+  arguments broadcast against each other.
+* Implementations register themselves under a short name (``"rm"``, ``"mo"``,
+  ``"ho"``, ...) via :func:`register_curve`, and :func:`get_curve` constructs
+  them by name — the experiment harness identifies orderings by these codes,
+  which mirror the paper's RM / MO / HO abbreviations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import CurveDomainError
+from repro.util.bits import as_uint64
+
+__all__ = ["SpaceFillingCurve", "register_curve", "get_curve", "available_curves"]
+
+
+class SpaceFillingCurve(ABC):
+    """A bijection between ``(y, x)`` grid coordinates and curve positions."""
+
+    #: Short registry code (e.g. ``"mo"``); set by subclasses.
+    code: str = ""
+    #: Human-readable name (e.g. ``"Morton order"``); set by subclasses.
+    display_name: str = ""
+
+    def __init__(self, side: int):
+        if side <= 0:
+            raise CurveDomainError(f"side must be positive, got {side!r}")
+        self._validate_side(side)
+        self._side = int(side)
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def _validate_side(self, side: int) -> None:
+        """Raise :class:`CurveDomainError` if ``side`` is unsupported."""
+
+    @abstractmethod
+    def _encode_array(self, y: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Vectorized encode; inputs are validated ``uint64`` arrays."""
+
+    @abstractmethod
+    def _decode_array(self, d: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized decode; input is a validated ``uint64`` array."""
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def side(self) -> int:
+        """Grid side length ``n``; the curve covers ``n**2`` points."""
+        return self._side
+
+    @property
+    def npoints(self) -> int:
+        """Number of grid points, ``side**2``."""
+        return self._side * self._side
+
+    def encode(self, y, x):
+        """Curve position of element ``(y, x)``.
+
+        Scalar inputs return a Python ``int``; array inputs return a
+        ``uint64`` array of broadcast shape.
+        """
+        scalar = np.isscalar(y) and np.isscalar(x)
+        ya, xa = np.broadcast_arrays(np.asarray(y), np.asarray(x))
+        ya, xa = as_uint64(ya), as_uint64(xa)
+        if ya.size:
+            if int(ya.max()) >= self._side or int(xa.max()) >= self._side:
+                raise CurveDomainError(
+                    f"coordinates out of range for side {self._side}"
+                )
+        d = self._encode_array(ya, xa)
+        return int(d[()]) if scalar else d
+
+    def decode(self, d):
+        """Grid coordinates ``(y, x)`` of curve position ``d``."""
+        scalar = np.isscalar(d)
+        da = as_uint64(np.asarray(d))
+        if da.size and int(da.max()) >= self.npoints:
+            raise CurveDomainError(f"index out of range for side {self._side}")
+        y, x = self._decode_array(da)
+        if scalar:
+            return int(y[()]), int(x[()])
+        return y, x
+
+    def traversal(self) -> tuple[np.ndarray, np.ndarray]:
+        """Coordinates visited in curve order.
+
+        Returns ``(ys, xs)`` arrays of length ``npoints`` such that the
+        ``d``-th visited element is ``(ys[d], xs[d])`` — i.e. the traversal
+        drawn in the paper's Fig. 1.
+        """
+        return self.decode(np.arange(self.npoints, dtype=np.uint64))
+
+    def position_grid(self) -> np.ndarray:
+        """``side x side`` array whose ``(y, x)`` entry is ``encode(y, x)``."""
+        ys, xs = np.meshgrid(
+            np.arange(self._side, dtype=np.uint64),
+            np.arange(self._side, dtype=np.uint64),
+            indexing="ij",
+        )
+        return self.encode(ys, xs).reshape(self._side, self._side)
+
+    def permutation(self) -> np.ndarray:
+        """Permutation ``p`` with ``p[row_major_index] = curve_index``.
+
+        ``dense.ravel()[argsort(p)]``... see :mod:`repro.layout.conversion`
+        for the canonical uses; exposed here because it is cached by layout
+        code.
+        """
+        return self.position_grid().ravel()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(side={self._side})"
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self._side == other._side
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._side))
+
+
+_REGISTRY: dict[str, Callable[[int], SpaceFillingCurve]] = {}
+
+
+def register_curve(code: str, factory: Callable[[int], SpaceFillingCurve]) -> None:
+    """Register a curve factory under ``code`` (lowercase, unique)."""
+    key = code.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"curve code {code!r} already registered")
+    _REGISTRY[key] = factory
+
+
+def get_curve(code: str, side: int) -> SpaceFillingCurve:
+    """Construct the registered curve ``code`` for an ``side x side`` grid."""
+    try:
+        factory = _REGISTRY[code.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown curve {code!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(side)
+
+
+def available_curves() -> list[str]:
+    """Codes of all registered curves, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,118 @@
+"""Index-computation cost models (paper Sections II and IV).
+
+The paper's central trade-off is *computation for locality*: each ordering
+pays a different price to turn ``(y, x)`` into a memory address.
+
+* Row-major: 1 multiply + 1 add — constant.
+* Morton: two Raman–Wise dilations (5 shifts + 5 masks each) combined with a
+  shift and an OR — constant for register-sized coordinates, but ~an order
+  of magnitude more scalar ops than RM.
+* Hilbert: the Morton interleaving **plus** a scan over coordinate bit pairs
+  applying conditional swap/complement rotations — *linear* in the address
+  length (Lam & Shapiro), which is what ultimately sinks HO in the paper's
+  measurements.
+
+These op counts feed the CPU timing model (:mod:`repro.sim.cpu`); they are
+also interesting on their own and are exercised by the ABL-IDX benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.curves.dilation import DILATION_OP_COUNT_2D
+
+__all__ = ["IndexOpCount", "index_cost", "SCHEMES", "scheme_display_name"]
+
+#: Registry codes of the three schemes the paper evaluates.
+SCHEMES = ("rm", "mo", "ho")
+
+_DISPLAY = {
+    "rm": "Row-major (RM)",
+    "mo": "Morton order (MO)",
+    "ho": "Hilbert order (HO)",
+    "cm": "Column-major",
+    "brm": "Block row-major",
+    "po": "Peano order",
+}
+
+
+def scheme_display_name(code: str) -> str:
+    """Human-readable name for a scheme code (falls back to the code)."""
+    return _DISPLAY.get(code.lower(), code)
+
+
+@dataclass(frozen=True)
+class IndexOpCount:
+    """Scalar operation counts for one index computation.
+
+    Attributes mirror the operation classes a compiler would emit for the
+    paper's C kernels: integer multiplies, simple ALU ops (add/shift/mask),
+    and data-dependent branches (the Hilbert rotation tests, which on real
+    hardware also cost mispredictions).
+    """
+
+    muls: int = 0
+    alu: int = 0
+    branches: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total scalar operations (branches counted once each)."""
+        return self.muls + self.alu + self.branches
+
+    def __add__(self, other: "IndexOpCount") -> "IndexOpCount":
+        return IndexOpCount(
+            self.muls + other.muls,
+            self.alu + other.alu,
+            self.branches + other.branches,
+        )
+
+
+#: Ops per Hilbert bit-pair step: extract two bits, accumulate the index
+#: pair, and the conditional swap/complement of the trailing bits (~2 ALU
+#: ops amortized, since only some pairs trigger the rotation) guarded by a
+#: branch.
+_HILBERT_OPS_PER_PAIR = IndexOpCount(muls=0, alu=4, branches=1)
+
+
+def index_cost(scheme: str, bits: int) -> IndexOpCount:
+    """Operation count for one 2-D index computation.
+
+    ``bits`` is the per-coordinate address length, i.e. ``log2(side)``.
+    Raises ``ValueError`` for unknown schemes; ``bits`` must be positive.
+    """
+    if bits <= 0:
+        raise ValueError(f"bits must be positive, got {bits!r}")
+    code = scheme.lower()
+    if code == "rm" or code == "cm":
+        return IndexOpCount(muls=1, alu=1)
+    if code == "brm":
+        # Tile decomposition: two div/mod pairs (strength-reduced to shifts
+        # and masks for power-of-two tiles) plus the two-level combine.
+        return IndexOpCount(muls=2, alu=8)
+    if code == "mo":
+        # Two dilations + one shift + one OR.
+        return IndexOpCount(muls=0, alu=2 * DILATION_OP_COUNT_2D + 2)
+    if code == "mo-inc":
+        # Incremental dilated arithmetic (Wise): stepping a neighbour is
+        # or/add/and/or on the packed index — no re-encoding.
+        return IndexOpCount(muls=0, alu=4)
+    if code == "ho-hw":
+        # The paper's future-work scenario: "dedicated hardware support
+        # for the required operations" — a fused Hilbert-index
+        # instruction; we charge issue + move.
+        return IndexOpCount(muls=0, alu=2)
+    if code == "ho":
+        base = index_cost("mo", bits)
+        scan = IndexOpCount(
+            muls=0,
+            alu=_HILBERT_OPS_PER_PAIR.alu * bits,
+            branches=_HILBERT_OPS_PER_PAIR.branches * bits,
+        )
+        return base + scan
+    if code == "po":
+        # Ternary digit extraction is div/mod based: 2 muls + 4 alu per
+        # digit pair, plus the complement test.
+        return IndexOpCount(muls=2 * bits, alu=4 * bits, branches=bits)
+    raise ValueError(f"unknown scheme {scheme!r}")

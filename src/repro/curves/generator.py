@@ -1,0 +1,147 @@
+"""Inductive curve constructions and traversal rendering (paper Figs 1–2).
+
+The curves in :mod:`repro.curves.morton` / :mod:`repro.curves.hilbert` are
+defined arithmetically (dilation, bit-pair scan).  This module builds the
+same traversals by the *inductive* replicate-and-rotate procedure of the
+paper's Fig. 2, which serves two purposes:
+
+* an independent oracle for the arithmetic implementations (the test suite
+  asserts both constructions agree for several orders), and
+* rendering: ASCII pictures of traversals (Fig. 1) and of the inductive
+  steps (Fig. 2) for examples and documentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "morton_sequence",
+    "hilbert_sequence",
+    "peano_sequence",
+    "render_traversal_grid",
+    "render_traversal_path",
+]
+
+
+def morton_sequence(order: int) -> list[tuple[int, int]]:
+    """Morton traversal of a ``2**order`` grid by quadrant replication.
+
+    The inductive step places four copies of the previous order in the
+    quadrant order of Table I (MO): top-left, top-right, bottom-left,
+    bottom-right, all in the same orientation.
+    """
+    if order < 0:
+        raise ValueError(f"order must be non-negative, got {order!r}")
+    seq = [(0, 0)]
+    for k in range(order):
+        h = 1 << k
+        seq = [
+            (y + dy * h, x + dx * h)
+            for dy, dx in ((0, 0), (0, 1), (1, 0), (1, 1))
+            for y, x in seq
+        ]
+    return seq
+
+
+def hilbert_sequence(order: int) -> list[tuple[int, int]]:
+    """Hilbert traversal of a ``2**order`` grid by replication and rotation.
+
+    Uses the frame-vector recursion (equivalent to the paper's Fig. 2
+    replicate-and-rotate step): each quadrant receives a copy of the
+    previous-order curve with its coordinate frame swapped or reversed so
+    that endpoints meet across quadrant boundaries.  Matches the base
+    orientation of Table I (HO).
+    """
+    if order < 0:
+        raise ValueError(f"order must be non-negative, got {order!r}")
+    pts: list[tuple[int, int]] = []
+
+    def hil(y0: int, x0: int, yi: int, xi: int, yj: int, xj: int, n: int) -> None:
+        if n == 0:
+            pts.append((y0 + (yi + yj) // 2, x0 + (xi + xj) // 2))
+            return
+        hil(y0, x0, yj // 2, xj // 2, yi // 2, xi // 2, n - 1)
+        hil(y0 + yi // 2, x0 + xi // 2, yi // 2, xi // 2, yj // 2, xj // 2, n - 1)
+        hil(
+            y0 + yi // 2 + yj // 2,
+            x0 + xi // 2 + xj // 2,
+            yi // 2,
+            xi // 2,
+            yj // 2,
+            xj // 2,
+            n - 1,
+        )
+        hil(
+            y0 + yi // 2 + yj,
+            x0 + xi // 2 + xj,
+            -yj // 2,
+            -xj // 2,
+            -yi // 2,
+            -xi // 2,
+            n - 1,
+        )
+
+    side = 1 << order
+    # Frame (0,1),(1,0): the "x axis" of the curve runs along grid columns,
+    # which yields Table I's 0 1 / 3 2 base orientation with y major.
+    hil(0, 0, 0, side, side, 0, order)
+    return pts
+
+
+def peano_sequence(order: int) -> list[tuple[int, int]]:
+    """Peano traversal of a ``3**order`` grid by serpentine replication.
+
+    Each refinement walks the 3x3 cells in boustrophedon row order; a cell at
+    (row ``r``, column ``c``) holds a copy of the previous order reflected in
+    x when the accumulated column parity is odd and in y when the row parity
+    is odd — the replication rule implied by Peano's digit-complement
+    arithmetic.
+    """
+    if order < 0:
+        raise ValueError(f"order must be non-negative, got {order!r}")
+    seq = [(0, 0)]
+    for k in range(order):
+        h = 3**k
+        new: list[tuple[int, int]] = []
+        for step in range(9):
+            r = step // 3
+            c = step % 3 if r % 2 == 0 else 2 - step % 3
+            flip_y = c % 2 == 1
+            flip_x = r % 2 == 1
+            for y, x in seq:
+                yy = (h - 1 - y) if flip_y else y
+                xx = (h - 1 - x) if flip_x else x
+                new.append((r * h + yy, c * h + xx))
+        seq = new
+    return seq
+
+
+def render_traversal_grid(seq: list[tuple[int, int]]) -> str:
+    """Render a traversal as a grid of visit numbers (Fig. 1 as text)."""
+    side = max(max(y for y, _ in seq), max(x for _, x in seq)) + 1
+    width = len(str(len(seq) - 1))
+    grid = [["." * width] * side for _ in range(side)]
+    for d, (y, x) in enumerate(seq):
+        grid[y][x] = str(d).rjust(width)
+    return "\n".join(" ".join(row) for row in grid)
+
+
+def render_traversal_path(seq: list[tuple[int, int]]) -> str:
+    """Render a traversal as box-drawing line art on a doubled grid.
+
+    Unit steps are joined with ``-``/``|`` segments; the non-unit jumps of
+    the Morton order show up as gaps, visualizing the discontinuities the
+    paper discusses in Section II-B.
+    """
+    side = max(max(y for y, _ in seq), max(x for _, x in seq)) + 1
+    h, w = 2 * side - 1, 2 * side - 1
+    canvas = [[" "] * w for _ in range(h)]
+    for y, x in seq:
+        canvas[2 * y][2 * x] = "o"
+    for (y0, x0), (y1, x1) in zip(seq, seq[1:]):
+        if abs(y0 - y1) + abs(x0 - x1) != 1:
+            continue  # jump: leave a visible gap
+        cy, cx = y0 + y1, x0 + x1  # midpoint on the doubled grid
+        canvas[cy][cx] = "|" if x0 == x1 else "-"
+    return "\n".join("".join(row).rstrip() for row in canvas)

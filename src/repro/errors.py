@@ -1,0 +1,52 @@
+"""Exception types shared across the :mod:`repro` package.
+
+Every error raised by the public API derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` et al.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CurveDomainError",
+    "LayoutError",
+    "KernelError",
+    "SimulationError",
+    "CalibrationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CurveDomainError(ReproError, ValueError):
+    """A coordinate or index lies outside a curve's domain.
+
+    Raised, for example, when encoding coordinates that are negative, exceed
+    the curve's side length, or when a curve is constructed for a side length
+    its construction cannot tile (non power-of-two for quadrant curves,
+    non power-of-three for the Peano curve).
+    """
+
+
+class LayoutError(ReproError, ValueError):
+    """A matrix layout operation received an incompatible matrix or curve."""
+
+
+class KernelError(ReproError, ValueError):
+    """A matrix-multiplication kernel was invoked on incompatible operands."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The machine simulator was configured or driven inconsistently."""
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """Analytic-model calibration failed (insufficient or degenerate data)."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment configuration or runner invariant was violated."""

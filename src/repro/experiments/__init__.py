@@ -1,0 +1,105 @@
+"""The paper's evaluation: Table III grid, Table IV, Figs 4-6, studies."""
+
+from repro.experiments.configs import (
+    FREQUENCIES,
+    SCHEMES,
+    SIZE_EXPONENTS,
+    THREAD_CONFIGS,
+    SampleConfig,
+    full_grid,
+    parse_thread_config,
+)
+from repro.experiments.results import ResultSet, SampleResult
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.tables import render_table4, table4_data
+from repro.experiments.figures import (
+    DUAL_SOCKET_POINTS,
+    Series,
+    fig4_speedup,
+    fig5_frequency_speedup,
+    fig6_energy_time,
+    render_series,
+)
+from repro.experiments.cachegrind_study import (
+    CachegrindStudyResult,
+    PAPER_LL_READ_MISSES,
+    run_cachegrind_study,
+)
+from repro.experiments.atlas_comparison import (
+    AtlasComparisonResult,
+    run_atlas_comparison,
+)
+from repro.experiments.validation import CLAIM_NAMES, Claim, validate_all
+from repro.experiments.hardware_assist import (
+    HardwareAssistStudy,
+    VARIANTS,
+    run_hardware_assist_study,
+)
+from repro.experiments.report import generate_report
+from repro.experiments.mrc_study import MissRatioCurve, render_mrc, run_mrc_study
+from repro.experiments.sensitivity import (
+    SensitivityPoint,
+    render_sensitivity,
+    sensitivity_sweep,
+)
+from repro.experiments.scaling_study import (
+    ScalingRow,
+    render_scaling_table,
+    scaling_table,
+)
+from repro.experiments.energy_analysis import (
+    EdpRow,
+    RooflineRow,
+    edp_table,
+    render_edp_table,
+    render_roofline_table,
+    roofline_table,
+)
+
+__all__ = [
+    "SampleConfig",
+    "full_grid",
+    "parse_thread_config",
+    "SCHEMES",
+    "SIZE_EXPONENTS",
+    "FREQUENCIES",
+    "THREAD_CONFIGS",
+    "SampleResult",
+    "ResultSet",
+    "ExperimentRunner",
+    "table4_data",
+    "render_table4",
+    "Series",
+    "fig4_speedup",
+    "fig5_frequency_speedup",
+    "fig6_energy_time",
+    "render_series",
+    "DUAL_SOCKET_POINTS",
+    "CachegrindStudyResult",
+    "run_cachegrind_study",
+    "PAPER_LL_READ_MISSES",
+    "AtlasComparisonResult",
+    "run_atlas_comparison",
+    "Claim",
+    "validate_all",
+    "CLAIM_NAMES",
+    "HardwareAssistStudy",
+    "run_hardware_assist_study",
+    "VARIANTS",
+    "EdpRow",
+    "edp_table",
+    "render_edp_table",
+    "RooflineRow",
+    "roofline_table",
+    "render_roofline_table",
+    "ScalingRow",
+    "scaling_table",
+    "render_scaling_table",
+    "generate_report",
+    "SensitivityPoint",
+    "sensitivity_sweep",
+    "render_sensitivity",
+    "MissRatioCurve",
+    "run_mrc_study",
+    "render_mrc",
+]

@@ -1,0 +1,101 @@
+"""The paper's experiment grid (Table III).
+
+Multiplication x Size x Frequency x Thread-count: {row-major, Morton,
+Hilbert} x {2^10, 2^11, 2^12} x {1200 MHz, 1800 MHz, 2600 MHz, ondemand} x
+{1s, 4s, 8s, 2d, 8d, 16d} = 3 * 3 * 4 * 6 = 216 sample points — "our
+exhaustive search of the parameter space described in Section III results
+in a set of 216 sample points" (Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.errors import ExperimentError
+
+__all__ = [
+    "SampleConfig",
+    "SCHEMES",
+    "SIZE_EXPONENTS",
+    "FREQUENCIES",
+    "THREAD_CONFIGS",
+    "full_grid",
+    "parse_thread_config",
+]
+
+#: Ordering schemes of Table III (registry codes).
+SCHEMES = ("rm", "mo", "ho")
+
+#: Problem sizes as exponents: side = 2^k.
+SIZE_EXPONENTS = (10, 11, 12)
+
+#: Frequency settings: fixed GHz values or the ondemand governor.
+FREQUENCIES = (1.2, 1.8, 2.6, "ondemand")
+
+#: Thread configurations: ``<count>s`` = packed on a single socket,
+#: ``<count>d`` = distributed evenly between two sockets.
+THREAD_CONFIGS = ("1s", "4s", "8s", "2d", "8d", "16d")
+
+
+def parse_thread_config(cfg: str) -> tuple[int, int]:
+    """``"8d" -> (8 threads, 2 sockets)``; ``"4s" -> (4, 1)``."""
+    cfg = cfg.strip().lower()
+    if len(cfg) < 2 or cfg[-1] not in ("s", "d"):
+        raise ExperimentError(f"malformed thread config {cfg!r}")
+    try:
+        threads = int(cfg[:-1])
+    except ValueError:
+        raise ExperimentError(f"malformed thread config {cfg!r}") from None
+    if threads <= 0:
+        raise ExperimentError(f"thread count must be positive in {cfg!r}")
+    sockets = 1 if cfg[-1] == "s" else 2
+    if sockets == 2 and threads % 2:
+        raise ExperimentError(
+            f"distributed config {cfg!r} needs an even thread count"
+        )
+    return threads, sockets
+
+
+@dataclass(frozen=True)
+class SampleConfig:
+    """One of the 216 sample points."""
+
+    scheme: str
+    size_exp: int
+    frequency: float | str
+    thread_config: str
+
+    @property
+    def n(self) -> int:
+        """Matrix side length."""
+        return 1 << self.size_exp
+
+    @property
+    def threads(self) -> int:
+        return parse_thread_config(self.thread_config)[0]
+
+    @property
+    def sockets_used(self) -> int:
+        return parse_thread_config(self.thread_config)[1]
+
+    @property
+    def frequency_label(self) -> str:
+        if isinstance(self.frequency, str):
+            return self.frequency
+        return f"{int(round(self.frequency * 1000))}MHz"
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, e.g. ``mo-11-1800MHz-8d``."""
+        return f"{self.scheme}-{self.size_exp}-{self.frequency_label}-{self.thread_config}"
+
+
+def full_grid() -> list[SampleConfig]:
+    """All 216 sample points of Table III, in deterministic order."""
+    return [
+        SampleConfig(scheme, size, freq, tc)
+        for scheme, size, freq, tc in product(
+            SCHEMES, SIZE_EXPONENTS, FREQUENCIES, THREAD_CONFIGS
+        )
+    ]

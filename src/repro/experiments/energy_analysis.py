@@ -1,0 +1,162 @@
+"""Energy-efficiency analyses on top of the modelled grid.
+
+The paper's conclusion — "the common assumption that optimal execution
+speed can be equated with optimal energy efficiency must be refined in the
+case of memory-bound computations" — invites two standard follow-on
+analyses, provided here:
+
+* **Energy-delay products** (:func:`edp_table`): for each scheme/size, the
+  frequency setting minimizing energy E, the delay-weighted products
+  E*t (EDP) and E*t^2 (ED2P), and plain time t.  For memory-bound RM the
+  four optima *diverge* (energy favours a low clock, time favours turbo);
+  for compute-bound runs they coincide at the top frequency.
+* **Roofline placement** (:func:`roofline_table`): arithmetic intensity
+  per scheme (flops per DRAM byte, from the calibrated miss model) against
+  the machine's ridge point, classifying each size/scheme as compute- or
+  memory-bound — the mechanism behind every crossover in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.configs import FREQUENCIES, SampleConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.analytic import misses_per_iteration
+from repro.sim.cpu import cycles_per_iteration
+
+__all__ = [
+    "EdpRow",
+    "edp_table",
+    "render_edp_table",
+    "RooflineRow",
+    "roofline_table",
+    "render_roofline_table",
+]
+
+
+@dataclass(frozen=True)
+class EdpRow:
+    """Optimal frequency settings for one (scheme, size, placement)."""
+
+    scheme: str
+    size_exp: int
+    thread_config: str
+    best_time: str
+    best_energy: str
+    best_edp: str
+    best_ed2p: str
+
+
+def _freq_label(freq) -> str:
+    return freq if isinstance(freq, str) else f"{freq:.1f}GHz"
+
+
+def edp_table(
+    runner: ExperimentRunner | None = None,
+    thread_config: str = "8s",
+    schemes: tuple[str, ...] = ("rm", "mo", "ho"),
+    sizes: tuple[int, ...] = (10, 11, 12),
+) -> list[EdpRow]:
+    """Best frequency per metric for each scheme/size at one placement."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    for scheme in schemes:
+        for size in sizes:
+            samples = {}
+            for freq in FREQUENCIES:
+                r = runner.run(SampleConfig(scheme, size, freq, thread_config))
+                energy = r.total_j
+                samples[_freq_label(freq)] = (r.seconds, energy)
+            best_time = min(samples, key=lambda k: samples[k][0])
+            best_energy = min(samples, key=lambda k: samples[k][1])
+            best_edp = min(samples, key=lambda k: samples[k][0] * samples[k][1])
+            best_ed2p = min(
+                samples, key=lambda k: samples[k][0] ** 2 * samples[k][1]
+            )
+            rows.append(
+                EdpRow(scheme, size, thread_config,
+                       best_time, best_energy, best_edp, best_ed2p)
+            )
+    return rows
+
+
+def render_edp_table(rows: list[EdpRow]) -> str:
+    """Text table of the per-metric optimal frequencies."""
+    lines = [
+        f"{'scheme':>7s} {'size':>5s} {'min time':>10s} {'min energy':>11s} "
+        f"{'min EDP':>10s} {'min ED2P':>10s}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.scheme.upper():>7s} {r.size_exp:5d} {r.best_time:>10s} "
+            f"{r.best_energy:>11s} {r.best_edp:>10s} {r.best_ed2p:>10s}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RooflineRow:
+    """Roofline placement of one (scheme, size) point."""
+
+    scheme: str
+    size_exp: int
+    intensity_flops_per_byte: float
+    ridge_flops_per_byte: float
+
+    @property
+    def memory_bound(self) -> bool:
+        """Below the ridge: bandwidth-limited."""
+        return self.intensity_flops_per_byte < self.ridge_flops_per_byte
+
+
+def roofline_table(
+    runner: ExperimentRunner | None = None,
+    freq_ghz: float = 2.6,
+    threads: int = 8,
+    schemes: tuple[str, ...] = ("rm", "mo", "ho"),
+    sizes: tuple[int, ...] = (10, 11, 12),
+) -> list[RooflineRow]:
+    """Arithmetic intensity vs the machine ridge, per scheme and size.
+
+    Intensity = 2 flops per iteration over the DRAM bytes the calibrated
+    miss model predicts per iteration; the ridge is the machine's
+    effective-compute-rate over bandwidth at this placement.  The paper's
+    effective compute rate per scheme differs (the index overhead *is*
+    compute), so the ridge is scheme-specific.
+    """
+    runner = runner or ExperimentRunner()
+    m = runner.model.machine
+    rows = []
+    for scheme in schemes:
+        cyc = cycles_per_iteration(scheme, 4096, m.core)
+        flops_per_sec = 2.0 * threads * freq_ghz * 1e9 / cyc
+        bw = m.dram.bandwidth_gbps * 1e9
+        ridge = flops_per_sec / bw
+        for size in sizes:
+            n = 1 << size
+            u = 3 * 8 * n * n / m.l3.size_bytes
+            mpi = misses_per_iteration(scheme, u, runner.model.miss_models)
+            bytes_per_iter = mpi * m.l3.line_bytes
+            intensity = 2.0 / bytes_per_iter if bytes_per_iter else float("inf")
+            rows.append(RooflineRow(scheme, size, intensity, ridge))
+    return rows
+
+
+def render_roofline_table(rows: list[RooflineRow]) -> str:
+    """Text table of roofline placements."""
+    lines = [
+        f"{'scheme':>7s} {'size':>5s} {'intensity':>11s} {'ridge':>9s} {'regime':>14s}"
+    ]
+    for r in rows:
+        regime = "memory-bound" if r.memory_bound else "compute-bound"
+        intensity = (
+            f"{r.intensity_flops_per_byte:11.2f}"
+            if r.intensity_flops_per_byte != float("inf")
+            else f"{'inf':>11s}"
+        )
+        lines.append(
+            f"{r.scheme.upper():>7s} {r.size_exp:5d} {intensity} "
+            f"{r.ridge_flops_per_byte:9.2f} {regime:>14s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Quantifying the paper's future work: cheaper index computation.
+
+Section VI: "The additional computational cost of Hilbert ordered indexing
+amounts to simple bitwise register manipulations.  An interesting
+direction for future work would be to investigate the benefit of dedicated
+hardware support for the required operations, as this would greatly reduce
+the overhead."
+
+This study runs the Table IV configurations with two index-arithmetic
+variants whose *locality is identical* to their base ordering:
+
+* ``mo-inc`` — Morton with Wise's incremental dilated arithmetic (a pure
+  software improvement: ~4 ops per neighbour step instead of a full
+  re-dilation), and
+* ``ho-hw`` — Hilbert with the hypothesized fused index instruction.
+
+The headline question: does hardware support flip the paper's conclusion
+that "the greater computational requirements of the Hilbert ordering
+render it impractical"?  (Spoiler, per the model: yes — with constant-cost
+indexing, HO's slightly better locality makes it at least MO's equal.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.configs import SampleConfig
+from repro.experiments.runner import ExperimentRunner
+
+__all__ = ["HardwareAssistStudy", "run_hardware_assist_study", "VARIANTS"]
+
+#: Studied index-computation variants, mapped to their base orderings.
+VARIANTS = {
+    "rm": "baseline row-major",
+    "mo": "Morton, full re-dilation per element",
+    "mo-inc": "Morton, incremental dilated arithmetic (software)",
+    "ho": "Hilbert, Lam-Shapiro scan (software)",
+    "ho-hw": "Hilbert, dedicated index instruction (future-work hardware)",
+}
+
+
+@dataclass(frozen=True)
+class HardwareAssistStudy:
+    """Modelled times [s] per variant for one (size, freq, placement)."""
+
+    size_exp: int
+    frequency: float | str
+    thread_config: str
+    seconds: dict[str, float]
+
+    @property
+    def ho_hw_vs_mo(self) -> float:
+        """HO-with-hardware over plain MO (< 1 means HO wins)."""
+        return self.seconds["ho-hw"] / self.seconds["mo"]
+
+    @property
+    def ho_hw_vs_ho(self) -> float:
+        """Hardware speedup over the software Hilbert scan."""
+        return self.seconds["ho"] / self.seconds["ho-hw"]
+
+    def summary(self) -> str:
+        lines = [
+            f"Hardware-assist study: size 2^{self.size_exp}, "
+            f"{self.frequency}, {self.thread_config}"
+        ]
+        for scheme, desc in VARIANTS.items():
+            lines.append(f"  {scheme:7s} {self.seconds[scheme]:9.1f} s  ({desc})")
+        lines.append(
+            f"  -> hardware makes HO {self.ho_hw_vs_ho:.1f}x faster; "
+            f"HO-hw / MO = {self.ho_hw_vs_mo:.2f}"
+        )
+        return "\n".join(lines)
+
+
+def run_hardware_assist_study(
+    size_exp: int = 12,
+    frequency: float | str = 2.6,
+    thread_config: str = "16d",
+    runner: ExperimentRunner | None = None,
+) -> HardwareAssistStudy:
+    """Evaluate all index-arithmetic variants at one sample point."""
+    runner = runner or ExperimentRunner()
+    seconds = {}
+    for scheme in VARIANTS:
+        cfg = SampleConfig(scheme, size_exp, frequency, thread_config)
+        seconds[scheme] = runner.run(cfg).seconds
+    return HardwareAssistStudy(
+        size_exp=size_exp,
+        frequency=frequency,
+        thread_config=thread_config,
+        seconds=seconds,
+    )

@@ -1,0 +1,70 @@
+"""Experiment runner: evaluates Table III sample points.
+
+Paper-scale points go through the calibrated analytic model
+(:class:`~repro.sim.analytic.PerformanceModel`); the runner memoizes
+results so table and figure generators can share one sweep of the grid.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.experiments.configs import SampleConfig, full_grid
+from repro.experiments.results import ResultSet, SampleResult
+from repro.sim.analytic import PerformanceModel
+
+__all__ = ["ExperimentRunner"]
+
+
+class ExperimentRunner:
+    """Runs sample points through the performance model, with caching."""
+
+    def __init__(self, model: PerformanceModel | None = None):
+        self.model = model or PerformanceModel()
+        self._cache = ResultSet()
+
+    def run(self, config: SampleConfig) -> SampleResult:
+        """Evaluate one sample point (cached)."""
+        if config in self._cache:
+            return self._cache.get(config)
+        pred = self.model.predict(
+            scheme=config.scheme,
+            n=config.n,
+            governor=config.frequency,
+            threads=config.threads,
+            sockets_used=config.sockets_used,
+        )
+        result = SampleResult(
+            config=config,
+            seconds=pred.seconds,
+            freq_ghz=pred.freq_ghz,
+            compute_seconds=pred.compute_seconds,
+            memory_seconds=pred.memory_seconds,
+            llc_misses=pred.llc_misses,
+            package_j=pred.energy.package_j,
+            pp0_j=pred.energy.pp0_j,
+            dram_j=pred.energy.dram_j,
+        )
+        self._cache.add(result)
+        return result
+
+    def run_grid(self, configs: list[SampleConfig] | None = None) -> ResultSet:
+        """Evaluate a list of points (default: all 216) and return them."""
+        out = ResultSet()
+        for cfg in configs or full_grid():
+            out.add(self.run(cfg))
+        return out
+
+    def speedup(self, config: SampleConfig) -> float:
+        """Parallel speedup S = T1 / Tp against the same scheme/size/freq
+        single-thread single-socket baseline (the paper's Fig. 4 metric)."""
+        if config.threads < 1:
+            raise ExperimentError("invalid thread count")
+        baseline_cfg = SampleConfig(
+            scheme=config.scheme,
+            size_exp=config.size_exp,
+            frequency=config.frequency,
+            thread_config="1s",
+        )
+        t1 = self.run(baseline_cfg).seconds
+        tp = self.run(config).seconds
+        return t1 / tp

@@ -1,0 +1,91 @@
+"""Strong-scaling study: speedup and parallel efficiency over the grid.
+
+Extends Figures 4/5 into a complete table — including the single-socket
+configurations the paper says showed "similar tendencies ... albeit less
+pronounced" but does not plot — and adds parallel efficiency
+``E = S / p``, which makes the memory wall legible at a glance: in-cache
+every scheme holds E ~ 1; out-of-cache RM's efficiency collapses while
+HO's stays near 1 because its extra computation "parallelizes trivially".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.configs import (
+    SCHEMES,
+    SIZE_EXPONENTS,
+    THREAD_CONFIGS,
+    SampleConfig,
+)
+from repro.experiments.runner import ExperimentRunner
+
+__all__ = ["ScalingRow", "scaling_table", "render_scaling_table"]
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One (scheme, size, thread config) scaling measurement."""
+
+    scheme: str
+    size_exp: int
+    thread_config: str
+    threads: int
+    sockets: int
+    seconds: float
+    speedup: float
+
+    @property
+    def efficiency(self) -> float:
+        """Parallel efficiency ``S / p``."""
+        return self.speedup / self.threads
+
+
+def scaling_table(
+    runner: ExperimentRunner | None = None,
+    frequency="ondemand",
+    schemes: tuple[str, ...] = SCHEMES,
+    sizes: tuple[int, ...] = SIZE_EXPONENTS,
+    thread_configs: tuple[str, ...] = THREAD_CONFIGS,
+) -> list[ScalingRow]:
+    """Speedup/efficiency for every scheme x size x placement."""
+    runner = runner or ExperimentRunner()
+    rows = []
+    for scheme in schemes:
+        for size in sizes:
+            for tc in thread_configs:
+                cfg = SampleConfig(scheme, size, frequency, tc)
+                r = runner.run(cfg)
+                rows.append(
+                    ScalingRow(
+                        scheme=scheme,
+                        size_exp=size,
+                        thread_config=tc,
+                        threads=cfg.threads,
+                        sockets=cfg.sockets_used,
+                        seconds=r.seconds,
+                        speedup=runner.speedup(cfg),
+                    )
+                )
+    return rows
+
+
+def render_scaling_table(rows: list[ScalingRow]) -> str:
+    """Text table grouped by scheme and size."""
+    lines = []
+    current = None
+    for r in rows:
+        key = (r.scheme, r.size_exp)
+        if key != current:
+            current = key
+            lines.append("")
+            lines.append(f"{r.scheme.upper()} size {r.size_exp}:")
+            lines.append(
+                f"  {'config':>7s} {'p':>3s} {'time [s]':>10s} "
+                f"{'speedup':>8s} {'eff':>6s}"
+            )
+        lines.append(
+            f"  {r.thread_config:>7s} {r.threads:3d} {r.seconds:10.2f} "
+            f"{r.speedup:8.2f} {r.efficiency:6.2f}"
+        )
+    return "\n".join(lines[1:])  # drop leading blank

@@ -1,0 +1,161 @@
+"""Shape validation: the paper's qualitative findings as checkable claims.
+
+Each claim from DESIGN.md's "shape targets" is a predicate over a result
+set; :func:`validate_all` evaluates every claim and returns a structured
+report.  The test suite asserts all claims hold, and EXPERIMENTS.md quotes
+the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.configs import SampleConfig
+from repro.experiments.runner import ExperimentRunner
+
+__all__ = ["Claim", "validate_all", "CLAIM_NAMES"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One validated statement about the modelled results."""
+
+    name: str
+    holds: bool
+    detail: str
+
+
+def _cfg(scheme, size, freq, tc):
+    return SampleConfig(scheme, size, freq, tc)
+
+
+def _claim_in_cache_rm_fastest(r: ExperimentRunner) -> Claim:
+    ok = True
+    details = []
+    for tc in ("1s", "8s", "16d"):
+        rm = r.run(_cfg("rm", 10, 2.6, tc)).seconds
+        mo = r.run(_cfg("mo", 10, 2.6, tc)).seconds
+        ho = r.run(_cfg("ho", 10, 2.6, tc)).seconds
+        ok &= rm < mo < ho
+        details.append(f"{tc}: RM {rm:.2f} < MO {mo:.2f} < HO {ho:.2f}")
+    return Claim("in_cache_rm_fastest", ok, "; ".join(details))
+
+
+def _claim_mo_overtakes_rm(r: ExperimentRunner) -> Claim:
+    ok = True
+    details = []
+    for size in (11, 12):
+        rm = r.run(_cfg("rm", size, "ondemand", "16d")).seconds
+        mo = r.run(_cfg("mo", size, "ondemand", "16d")).seconds
+        ok &= mo < rm
+        details.append(f"size {size} 16d: MO {mo:.1f}s vs RM {rm:.1f}s")
+    return Claim("mo_overtakes_rm_out_of_cache", ok, "; ".join(details))
+
+
+def _claim_ho_slowest_by_an_order(r: ExperimentRunner) -> Claim:
+    ho = r.run(_cfg("ho", 12, 2.6, "1s")).seconds
+    mo = r.run(_cfg("mo", 12, 2.6, "1s")).seconds
+    ratio = ho / mo
+    return Claim(
+        "ho_order_of_magnitude_slower",
+        5 <= ratio <= 12,
+        f"HO/MO single-thread size 12: {ratio:.1f}x (paper: 7.0x)",
+    )
+
+
+def _claim_frequency_collapse_memory_bound(r: ExperimentRunner) -> Claim:
+    t12 = {f: r.run(_cfg("rm", 12, f, "8s")).seconds for f in (1.2, 2.6)}
+    t10 = {f: r.run(_cfg("rm", 10, f, "8s")).seconds for f in (1.2, 2.6)}
+    gain12 = t12[1.2] / t12[2.6]
+    gain10 = t10[1.2] / t10[2.6]
+    return Claim(
+        "memory_bound_frequency_collapse",
+        gain12 < 1.35 < 1.9 < gain10,
+        f"2.17x clock: size 12 gains {gain12:.2f}x, size 10 gains {gain10:.2f}x",
+    )
+
+
+def _claim_energy_knee(r: ExperimentRunner) -> Claim:
+    lo = r.run(_cfg("rm", 12, 1.8, "8s"))
+    hi = r.run(_cfg("rm", 12, 2.6, "8s"))
+    time_gain = lo.seconds / hi.seconds
+    energy_cost = hi.package_j / lo.package_j
+    return Claim(
+        "energy_knee_above_memory_clock",
+        energy_cost > time_gain,
+        f"1.8->2.6 GHz: {time_gain:.2f}x faster for {energy_cost:.2f}x package energy",
+    )
+
+
+def _claim_dram_energy_small_constant(r: ExperimentRunner) -> Claim:
+    # Paper: DRAM power small vs the cores "by factors close to 4 for high
+    # frequencies", and nearly constant across configurations.  At low
+    # fixed frequencies the gap narrows (visible in Fig. 6 too), so the
+    # factor check applies at 2.6 GHz.
+    results = [
+        r.run(_cfg(s, 12, f, "8s"))
+        for s in ("rm", "mo")
+        for f in (1.2, 1.8, 2.6)
+    ]
+    small = all(x.dram_j < x.package_j for x in results)
+    hi_freq = [r.run(_cfg(s, 12, 2.6, "8s")) for s in ("rm", "mo")]
+    factors = [x.pp0_j / x.dram_j for x in hi_freq]
+    powers = [x.dram_j / x.seconds for x in results]
+    constant = max(powers) / min(powers) < 1.8
+    return Claim(
+        "dram_energy_small_and_constant",
+        small and constant and all(2.0 < f < 8.0 for f in factors),
+        f"DRAM power range {min(powers):.1f}-{max(powers):.1f} W; "
+        f"PP0/DRAM at 2.6 GHz: RM {factors[0]:.1f}x, MO {factors[1]:.1f}x "
+        "(paper: ~4x)",
+    )
+
+
+def _claim_ondemand_fast_but_inefficient(r: ExperimentRunner) -> Claim:
+    od = r.run(_cfg("rm", 12, "ondemand", "8s"))
+    fixed = r.run(_cfg("rm", 12, 2.6, "8s"))
+    return Claim(
+        "ondemand_fast_but_energy_hungry",
+        od.seconds <= fixed.seconds and od.package_j > fixed.package_j,
+        f"ondemand {od.seconds:.1f}s/{od.package_j:.0f}J vs "
+        f"2.6GHz {fixed.seconds:.1f}s/{fixed.package_j:.0f}J",
+    )
+
+
+def _claim_dual_socket_penalty(r: ExperimentRunner) -> Claim:
+    s8 = r.run(_cfg("rm", 12, 1.2, "8s")).seconds
+    d8 = r.run(_cfg("rm", 12, 1.2, "8d")).seconds
+    return Claim(
+        "dual_socket_slower_memory_bound",
+        d8 > s8,
+        f"size 12 RM 1.2GHz: 8s {s8:.1f}s vs 8d {d8:.1f}s",
+    )
+
+
+_CLAIMS = (
+    _claim_in_cache_rm_fastest,
+    _claim_mo_overtakes_rm,
+    _claim_ho_slowest_by_an_order,
+    _claim_frequency_collapse_memory_bound,
+    _claim_energy_knee,
+    _claim_dram_energy_small_constant,
+    _claim_ondemand_fast_but_inefficient,
+    _claim_dual_socket_penalty,
+)
+
+CLAIM_NAMES = (
+    "in_cache_rm_fastest",
+    "mo_overtakes_rm_out_of_cache",
+    "ho_order_of_magnitude_slower",
+    "memory_bound_frequency_collapse",
+    "energy_knee_above_memory_clock",
+    "dram_energy_small_and_constant",
+    "ondemand_fast_but_energy_hungry",
+    "dual_socket_slower_memory_bound",
+)
+
+
+def validate_all(runner: ExperimentRunner | None = None) -> list[Claim]:
+    """Evaluate every shape claim against the model."""
+    runner = runner or ExperimentRunner()
+    return [fn(runner) for fn in _CLAIMS]

@@ -1,0 +1,45 @@
+"""Matrix-multiplication kernels over curve layouts (paper Section III-B)."""
+
+from repro.kernels.reference import check_operands, random_pair, reference_matmul
+from repro.kernels.naive import naive_matmul, naive_matmul_scalar
+from repro.kernels.recursive import recursive_matmul
+from repro.kernels.tiled import TileTuningResult, autotune_tile, tiled_matmul
+from repro.kernels.peano_matmul import peano_block_schedule, peano_matmul
+from repro.kernels.incremental import morton_matmul_incremental
+from repro.kernels.transpose import morton_transpose_permutation, transpose
+from repro.kernels.stencil import jacobi_step, neighbor_tables
+from repro.kernels.strassen import strassen_matmul, strassen_multiplication_count
+from repro.kernels.cholesky import cholesky, random_spd
+from repro.kernels.opcount import (
+    KernelOpCount,
+    naive_opcount,
+    recursive_opcount,
+    tiled_opcount,
+)
+
+__all__ = [
+    "reference_matmul",
+    "check_operands",
+    "random_pair",
+    "naive_matmul",
+    "naive_matmul_scalar",
+    "recursive_matmul",
+    "tiled_matmul",
+    "autotune_tile",
+    "TileTuningResult",
+    "peano_matmul",
+    "peano_block_schedule",
+    "morton_matmul_incremental",
+    "transpose",
+    "morton_transpose_permutation",
+    "jacobi_step",
+    "neighbor_tables",
+    "strassen_matmul",
+    "strassen_multiplication_count",
+    "cholesky",
+    "random_spd",
+    "KernelOpCount",
+    "naive_opcount",
+    "recursive_opcount",
+    "tiled_opcount",
+]

@@ -1,0 +1,53 @@
+"""Naive multiply over Morton layouts with incremental dilated indexing.
+
+The ``mo-inc`` software variant from the hardware-assist study
+(:mod:`repro.experiments.hardware_assist`) as an actual executable kernel:
+rather than re-encoding ``(i, k)`` and ``(k, j)`` per element, the walk
+indices are produced by dilated-arithmetic steps
+(:mod:`repro.curves.dilated`).  Numerically identical to
+:func:`repro.kernels.naive.naive_matmul` on Morton operands, with an
+index-generation cost of ~4 ops per step instead of a full dilation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import get_curve
+from repro.curves.dilated import morton_row_indices
+from repro.curves.morton import MortonCurve
+from repro.errors import KernelError
+from repro.kernels.reference import check_operands
+from repro.layout.matrix import CurveMatrix
+
+__all__ = ["morton_matmul_incremental"]
+
+
+def morton_matmul_incremental(
+    a: CurveMatrix,
+    b: CurveMatrix,
+    dtype=None,
+) -> CurveMatrix:
+    """ikj multiply over Morton operands via incremental index walks.
+
+    Both operands (and the Morton-ordered result) must be in Morton
+    layout — the incremental arithmetic is specific to the interleaved
+    representation.
+    """
+    n = check_operands(a, b)
+    if not isinstance(a.curve, MortonCurve) or not isinstance(b.curve, MortonCurve):
+        raise KernelError("incremental kernel requires Morton-ordered operands")
+    dtype = dtype or np.promote_types(a.dtype, b.dtype)
+    out_curve = get_curve("mo", n)
+    out = np.zeros(out_curve.npoints, dtype=dtype)
+
+    # Row walks: index vectors produced by (vectorized) dilated increments.
+    row_idx = [morton_row_indices(i, n) for i in range(n)]
+    c_row = np.empty(n, dtype=dtype)
+    for i in range(n):
+        a_row = a.data[row_idx[i]]
+        c_row[:] = 0
+        for k in range(n):
+            c_row += a_row[k] * b.data[row_idx[k]]
+        out[row_idx[i]] = c_row
+    return CurveMatrix(out, out_curve)

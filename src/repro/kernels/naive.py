@@ -1,0 +1,112 @@
+"""The paper's naive n^3 multiplication over arbitrary element layouts.
+
+Two implementations of the same kernel:
+
+* :func:`naive_matmul` — the production path.  It performs the classic
+  ``C[i,j] += A[i,k] * B[k,j]`` computation with every element fetched
+  through its layout's ``encode``, but restructured as an *ikj* rank-1
+  update per (i, k) so each step is a vectorized gather of one logical row.
+  No operand is ever materialized as a full dense matrix: the only
+  full-size auxiliary structures are integer index tables (the same
+  address arithmetic the paper's C kernels perform per access, hoisted).
+
+* :func:`naive_matmul_scalar` — a pure-Python triple loop, element by
+  element, exactly the code shape of the paper's Section III-B.  It is the
+  readable specification (and the op-count ground truth) but is only usable
+  for small sides; the test suite cross-checks the two.
+
+Both return ``C`` in a caller-chosen layout (default: ``A``'s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import get_curve
+from repro.errors import KernelError
+from repro.kernels.reference import check_operands
+from repro.layout.matrix import CurveMatrix
+
+__all__ = ["naive_matmul", "naive_matmul_scalar"]
+
+
+def _row_index_table(curve, n: int) -> np.ndarray:
+    """Index table ``T[i, j] = encode(i, j)`` for gathering logical rows."""
+    ys = np.arange(n, dtype=np.uint64)[:, None]
+    xs = np.arange(n, dtype=np.uint64)[None, :]
+    return curve.encode(ys, xs)
+
+
+def naive_matmul(
+    a: CurveMatrix,
+    b: CurveMatrix,
+    out_curve=None,
+    dtype=None,
+) -> CurveMatrix:
+    """Naive matrix multiply with per-element index translation.
+
+    Parameters
+    ----------
+    a, b:
+        Operands (any layouts, equal side).
+    out_curve:
+        Layout for the result; a curve, registry code, or ``None`` for
+        ``a.curve``.
+    dtype:
+        Accumulation/result dtype; defaults to the NumPy promotion of the
+        operand dtypes.
+    """
+    n = check_operands(a, b)
+    if out_curve is None:
+        out_curve = a.curve
+    elif isinstance(out_curve, str):
+        out_curve = get_curve(out_curve, n)
+    if out_curve.side != n:
+        raise KernelError(f"out_curve side {out_curve.side} != {n}")
+    dtype = dtype or np.promote_types(a.dtype, b.dtype)
+
+    a_idx = _row_index_table(a.curve, n)
+    b_idx = _row_index_table(b.curve, n)
+    c_idx = _row_index_table(out_curve, n)
+
+    out = np.zeros(out_curve.npoints, dtype=dtype)
+    c_row = np.empty(n, dtype=dtype)
+    for i in range(n):
+        a_row = a.data[a_idx[i]]
+        c_row[:] = 0
+        for k in range(n):
+            # Rank-1 step: C[i, :] += A[i, k] * B[k, :]
+            c_row += a_row[k] * b.data[b_idx[k]]
+        out[c_idx[i]] = c_row
+    return CurveMatrix(out, out_curve)
+
+
+def naive_matmul_scalar(
+    a: CurveMatrix,
+    b: CurveMatrix,
+    out_curve=None,
+    max_side: int = 64,
+) -> CurveMatrix:
+    """Element-by-element ijk triple loop (the paper's literal kernel).
+
+    Guarded by ``max_side`` because the interpreter cost is cubic; raise the
+    limit explicitly if you really want a bigger run.
+    """
+    n = check_operands(a, b)
+    if n > max_side:
+        raise KernelError(
+            f"scalar kernel limited to side {max_side} (got {n}); "
+            "pass max_side explicitly to override"
+        )
+    if out_curve is None:
+        out_curve = a.curve
+    elif isinstance(out_curve, str):
+        out_curve = get_curve(out_curve, n)
+    c = CurveMatrix.zeros(n, out_curve, dtype=np.promote_types(a.dtype, b.dtype))
+    for i in range(n):
+        for j in range(n):
+            acc = c.dtype.type(0)
+            for k in range(n):
+                acc += a[i, k] * b[k, j]
+            c[i, j] = acc
+    return c

@@ -1,0 +1,118 @@
+"""Analytic operation counts for the multiplication kernels.
+
+These formulas are the bridge between the kernels and the CPU timing model
+(:mod:`repro.sim.cpu`): for a given kernel, problem side and per-matrix
+layouts they count floating-point operations, index computations (broken
+down per scheme via :func:`repro.curves.cost.index_cost`), and memory
+references.  They mirror the paper's accounting in Section IV ("adding the
+row-major indexing cost of 1 multiplication and addition...").
+
+The naive kernel's loop structure (the paper's) per output element (i, j):
+the inner k loop performs one A index, one B index, one A load, one B load
+and one fused multiply-add per iteration; the C index, load and store are
+hoisted out of the k loop by any optimizing compiler, so they count once
+per (i, j).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.curves.cost import IndexOpCount, index_cost
+from repro.util.bits import ilog2
+
+__all__ = ["KernelOpCount", "naive_opcount", "recursive_opcount", "tiled_opcount"]
+
+
+@dataclass(frozen=True)
+class KernelOpCount:
+    """Totals for one full multiplication.
+
+    ``index_ops`` aggregates the scalar operations of all index
+    computations; ``index_branches`` the data-dependent branches among them
+    (Hilbert rotations).  ``loads``/``stores`` count logical element
+    references (before any cache filtering).
+    """
+
+    flops: int
+    index_muls: int
+    index_alu: int
+    index_branches: int
+    loads: int
+    stores: int
+
+    @property
+    def index_ops(self) -> int:
+        """All scalar index-computation operations."""
+        return self.index_muls + self.index_alu + self.index_branches
+
+    @property
+    def total_ops(self) -> int:
+        """Flops + index work (memory references excluded)."""
+        return self.flops + self.index_ops
+
+
+def _accumulate(n3: int, n2: int, inner: IndexOpCount, outer: IndexOpCount) -> tuple[int, int, int]:
+    muls = n3 * inner.muls + n2 * outer.muls
+    alu = n3 * inner.alu + n2 * outer.alu
+    branches = n3 * inner.branches + n2 * outer.branches
+    return muls, alu, branches
+
+
+def naive_opcount(
+    n: int, scheme_a: str, scheme_b: str | None = None, scheme_c: str | None = None
+) -> KernelOpCount:
+    """Op counts of the naive ijk kernel with per-operand layouts.
+
+    ``scheme_b``/``scheme_c`` default to ``scheme_a`` (the paper stores all
+    three matrices in the same ordering).
+    """
+    if n <= 1:
+        raise ValueError(f"side must be > 1, got {n}")
+    scheme_b = scheme_b or scheme_a
+    scheme_c = scheme_c or scheme_a
+    bits = max(1, ilog2(n)) if n & (n - 1) == 0 else max(1, n.bit_length())
+    n3, n2 = n**3, n**2
+    inner = index_cost(scheme_a, bits) + index_cost(scheme_b, bits)
+    outer = index_cost(scheme_c, bits)
+    muls, alu, branches = _accumulate(n3, n2, inner, outer)
+    return KernelOpCount(
+        flops=2 * n3,
+        index_muls=muls,
+        index_alu=alu,
+        index_branches=branches,
+        loads=2 * n3 + n2,  # A and B per inner iteration, C once per (i, j)
+        stores=n2,
+    )
+
+
+def recursive_opcount(n: int, leaf: int, scheme: str = "mo") -> KernelOpCount:
+    """Op counts of the quadrant-recursive kernel.
+
+    Index computations happen only at leaf gathers (3 per leaf product:
+    gather A, gather B, scatter C — each ``leaf**2`` encodes); the flop
+    count is unchanged at ``2 n^3``.
+    """
+    if n <= 1 or leaf <= 0:
+        raise ValueError(f"invalid n={n} leaf={leaf}")
+    leaf = min(leaf, n)
+    bits = max(1, ilog2(n)) if n & (n - 1) == 0 else max(1, n.bit_length())
+    leaf_products = (n // leaf) ** 3
+    encodes = leaf_products * 3 * leaf**2
+    c = index_cost(scheme, bits)
+    return KernelOpCount(
+        flops=2 * n**3,
+        index_muls=encodes * c.muls,
+        index_alu=encodes * c.alu,
+        index_branches=encodes * c.branches,
+        loads=leaf_products * 3 * leaf**2,
+        stores=leaf_products * leaf**2,
+    )
+
+
+def tiled_opcount(n: int, tile: int, scheme: str = "rm") -> KernelOpCount:
+    """Op counts of the explicitly tiled kernel (same structure as recursive
+    with a single blocking level)."""
+    if n <= 1 or tile <= 0 or n % tile:
+        raise ValueError(f"invalid n={n} tile={tile}")
+    return recursive_opcount(n, tile, scheme)

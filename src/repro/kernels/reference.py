@@ -1,0 +1,39 @@
+"""Reference multiplication and correctness helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.layout.matrix import CurveMatrix
+
+__all__ = ["reference_matmul", "check_operands", "random_pair"]
+
+
+def check_operands(a: CurveMatrix, b: CurveMatrix) -> int:
+    """Validate a multiplication pair; returns the common side length."""
+    if not isinstance(a, CurveMatrix) or not isinstance(b, CurveMatrix):
+        raise KernelError("operands must be CurveMatrix instances")
+    if a.side != b.side:
+        raise KernelError(f"operand sides differ: {a.side} vs {b.side}")
+    return a.side
+
+
+def reference_matmul(a: CurveMatrix, b: CurveMatrix) -> np.ndarray:
+    """Dense NumPy product of two curve matrices (the correctness oracle)."""
+    check_operands(a, b)
+    return a.to_dense() @ b.to_dense()
+
+
+def random_pair(
+    side: int,
+    curve_a: str = "rm",
+    curve_b: str | None = None,
+    seed: int = 0,
+    dtype=np.float64,
+) -> tuple[CurveMatrix, CurveMatrix]:
+    """Reproducible random operand pair in the requested layouts."""
+    rng = np.random.default_rng(seed)
+    a = CurveMatrix.random(side, curve_a, rng=rng, dtype=dtype)
+    b = CurveMatrix.random(side, curve_b or curve_a, rng=rng, dtype=dtype)
+    return a, b

@@ -1,0 +1,68 @@
+"""Matrix transposition over curve layouts.
+
+Transposition is the classic locality stress test: over row-major storage
+it pairs a unit-stride read with a full-row-stride write.  Over a Morton
+layout it is *algebraically trivial*: swapping the two coordinates of
+every element swaps the even and odd bit lanes of each Morton index, so
+
+    transpose_index(d) = ((d & EVEN) << 1) | ((d & ODD) >> 1)
+
+is a 4-op permutation of the buffer — no coordinate decode at all.  The
+generic path (:func:`transpose`) works for every layout via encode tables;
+:func:`morton_transpose_permutation` exposes the bit-swap shortcut, and
+the test suite checks they agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import get_curve
+from repro.curves.dilation import EVEN_MASK_2D, ODD_MASK_2D
+from repro.curves.morton import MortonCurve
+from repro.errors import KernelError
+from repro.layout.matrix import CurveMatrix
+
+__all__ = ["transpose", "morton_transpose_permutation"]
+
+_U64 = np.uint64
+
+
+def morton_transpose_permutation(n: int) -> np.ndarray:
+    """Gather indices ``g`` with ``At.data = A.data[g]`` for Morton layout.
+
+    ``g[d]`` is the source offset of the element landing at offset ``d``;
+    because the bit-swap is an involution, the permutation is its own
+    inverse.
+    """
+    d = np.arange(n * n, dtype=np.uint64)
+    return ((d & _U64(EVEN_MASK_2D)) << _U64(1)) | (
+        (d & _U64(ODD_MASK_2D)) >> _U64(1)
+    )
+
+
+def transpose(m: CurveMatrix, out_curve=None) -> CurveMatrix:
+    """Transpose of a curve matrix, in ``out_curve`` (default: same layout).
+
+    Morton-to-Morton transposition takes the 4-op bit-swap fast path; all
+    other combinations gather through encode tables.
+    """
+    n = m.side
+    if out_curve is None:
+        out_curve = m.curve
+    elif isinstance(out_curve, str):
+        out_curve = get_curve(out_curve, n)
+    if out_curve.side != n:
+        raise KernelError(f"out_curve side {out_curve.side} != {n}")
+
+    if isinstance(m.curve, MortonCurve) and isinstance(out_curve, MortonCurve):
+        return CurveMatrix(m.data[morton_transpose_permutation(n)], out_curve)
+
+    ys = np.arange(n, dtype=np.uint64)[:, None]
+    xs = np.arange(n, dtype=np.uint64)[None, :]
+    # Element (y, x) of the result is element (x, y) of the source.
+    src = m.curve.encode(xs, ys)
+    dst = out_curve.encode(ys, xs)
+    out = np.empty(out_curve.npoints, dtype=m.dtype)
+    out[dst.ravel()] = m.data[src.ravel()]
+    return CurveMatrix(out, out_curve)

@@ -1,0 +1,35 @@
+"""Curve-ordered matrix storage and layout conversion."""
+
+from repro.layout.matrix import CurveMatrix, pad_to_pow2
+from repro.layout.conversion import (
+    clear_permutation_cache,
+    conversion_permutation,
+    curve_permutation,
+    relayout,
+)
+from repro.layout.views import (
+    QuadrantView,
+    block_range,
+    is_block_contiguous,
+    quadrant_views,
+)
+from repro.layout.sparse import CurveSparseMatrix
+from repro.layout.volume import MortonVolume
+from repro.layout.rect import PaddedCurveMatrix, rect_matmul
+
+__all__ = [
+    "CurveMatrix",
+    "pad_to_pow2",
+    "relayout",
+    "curve_permutation",
+    "conversion_permutation",
+    "clear_permutation_cache",
+    "QuadrantView",
+    "block_range",
+    "is_block_contiguous",
+    "quadrant_views",
+    "CurveSparseMatrix",
+    "MortonVolume",
+    "PaddedCurveMatrix",
+    "rect_matmul",
+]

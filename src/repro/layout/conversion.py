@@ -1,0 +1,64 @@
+"""Layout-to-layout conversion with cached permutations.
+
+Re-ordering a matrix between two curves is a single gather through a
+composed permutation.  Permutations are memoized per curve (they cost an
+``encode`` over the full grid to build, which dominates conversion time for
+repeated use — e.g. the benchmark harness converting the same operands into
+each of the paper's three layouts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve, get_curve
+from repro.errors import LayoutError
+from repro.layout.matrix import CurveMatrix
+
+__all__ = ["curve_permutation", "relayout", "conversion_permutation", "clear_permutation_cache"]
+
+_PERM_CACHE: dict[SpaceFillingCurve, np.ndarray] = {}
+
+
+def curve_permutation(curve: SpaceFillingCurve) -> np.ndarray:
+    """Cached ``curve.permutation()`` (maps row-major index -> curve index)."""
+    perm = _PERM_CACHE.get(curve)
+    if perm is None:
+        perm = curve.permutation()
+        _PERM_CACHE[curve] = perm
+    return perm
+
+
+def clear_permutation_cache() -> None:
+    """Drop all cached permutations (mainly for memory-sensitive tests)."""
+    _PERM_CACHE.clear()
+
+
+def conversion_permutation(
+    src: SpaceFillingCurve, dst: SpaceFillingCurve
+) -> np.ndarray:
+    """Gather indices ``g`` with ``dst_buf = src_buf[g]``.
+
+    For every destination offset ``d`` (holding grid element ``e``), ``g[d]``
+    is the source offset of ``e``: ``g[dst_perm] = src_perm`` element-wise
+    over row-major positions.
+    """
+    if src.side != dst.side:
+        raise LayoutError(
+            f"cannot convert between sides {src.side} and {dst.side}"
+        )
+    src_perm = curve_permutation(src)
+    dst_perm = curve_permutation(dst)
+    g = np.empty_like(src_perm)
+    g[dst_perm] = src_perm
+    return g
+
+
+def relayout(matrix: CurveMatrix, curve: SpaceFillingCurve | str) -> CurveMatrix:
+    """Copy of ``matrix`` stored along a different curve."""
+    if isinstance(curve, str):
+        curve = get_curve(curve, matrix.side)
+    if curve == matrix.curve:
+        return matrix.copy()
+    g = conversion_permutation(matrix.curve, curve)
+    return CurveMatrix(matrix.data[g], curve)

@@ -1,0 +1,207 @@
+"""Curve-ordered matrix storage.
+
+A :class:`CurveMatrix` is a square matrix whose elements live in a flat
+buffer permuted by a :class:`~repro.curves.base.SpaceFillingCurve`: element
+``(y, x)`` is stored at buffer offset ``curve.encode(y, x)``.  This is the
+"altered ordering of matrix elements in memory" of the paper's Section I —
+the data structure whose locality/compute trade-off the whole study is
+about.
+
+The class is deliberately a thin, explicit container: element access always
+goes through the curve's ``encode``, mirroring what the paper's C kernels
+do, so the cost model in :mod:`repro.kernels.opcount` matches the real code
+paths one-to-one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LayoutError
+from repro.curves.base import SpaceFillingCurve, get_curve
+from repro.util.bits import ceil_pow2
+
+__all__ = ["CurveMatrix", "pad_to_pow2"]
+
+
+def pad_to_pow2(dense: np.ndarray, fill: float = 0.0) -> np.ndarray:
+    """Zero-pad a 2-D array to the next power-of-two square.
+
+    Quadrant-recursive orderings need power-of-two sides; padding with the
+    additive identity keeps matrix products exact on the original block.
+    """
+    if dense.ndim != 2:
+        raise LayoutError(f"expected a 2-D array, got ndim={dense.ndim}")
+    side = ceil_pow2(max(dense.shape))
+    if dense.shape == (side, side):
+        return dense
+    out = np.full((side, side), fill, dtype=dense.dtype)
+    out[: dense.shape[0], : dense.shape[1]] = dense
+    return out
+
+
+class CurveMatrix:
+    """Square matrix stored along a space-filling curve.
+
+    Parameters
+    ----------
+    data:
+        Flat buffer of ``curve.npoints`` elements in curve order.  It is
+        kept by reference (no copy) so kernels can operate in place.
+    curve:
+        The ordering; also fixes the side length.
+    """
+
+    __slots__ = ("_data", "_curve")
+
+    def __init__(self, data: np.ndarray, curve: SpaceFillingCurve):
+        data = np.asarray(data)
+        if data.ndim != 1:
+            raise LayoutError(
+                f"backing buffer must be 1-D (curve order), got ndim={data.ndim}"
+            )
+        if data.shape[0] != curve.npoints:
+            raise LayoutError(
+                f"buffer has {data.shape[0]} elements but curve "
+                f"side {curve.side} needs {curve.npoints}"
+            )
+        self._data = data
+        self._curve = curve
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, curve: SpaceFillingCurve | str) -> "CurveMatrix":
+        """Re-order a dense row-major matrix into curve storage."""
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+            raise LayoutError(f"expected a square 2-D array, got shape {dense.shape}")
+        if isinstance(curve, str):
+            curve = get_curve(curve, dense.shape[0])
+        if curve.side != dense.shape[0]:
+            raise LayoutError(
+                f"curve side {curve.side} does not match matrix side {dense.shape[0]}"
+            )
+        buf = np.empty(curve.npoints, dtype=dense.dtype)
+        buf[curve.permutation()] = dense.ravel()
+        return cls(buf, curve)
+
+    @classmethod
+    def zeros(cls, side: int, curve: SpaceFillingCurve | str, dtype=np.float64) -> "CurveMatrix":
+        """All-zero matrix in the given layout."""
+        if isinstance(curve, str):
+            curve = get_curve(curve, side)
+        if curve.side != side:
+            raise LayoutError(f"curve side {curve.side} != requested side {side}")
+        return cls(np.zeros(curve.npoints, dtype=dtype), curve)
+
+    @classmethod
+    def random(
+        cls,
+        side: int,
+        curve: SpaceFillingCurve | str,
+        rng: np.random.Generator | None = None,
+        dtype=np.float64,
+    ) -> "CurveMatrix":
+        """Uniform-random matrix (reproducible via ``rng``) in curve layout."""
+        rng = rng or np.random.default_rng()
+        dense = rng.random((side, side)).astype(dtype, copy=False)
+        return cls.from_dense(dense, curve)
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """The flat curve-ordered buffer (shared, not copied)."""
+        return self._data
+
+    @property
+    def curve(self) -> SpaceFillingCurve:
+        """The ordering this matrix is stored in."""
+        return self._curve
+
+    @property
+    def side(self) -> int:
+        """Matrix side length."""
+        return self._curve.side
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical (rows, cols)."""
+        return (self.side, self.side)
+
+    @property
+    def dtype(self):
+        """Element dtype."""
+        return self._data.dtype
+
+    # -- element access ------------------------------------------------------
+
+    def __getitem__(self, key):
+        """Element (or fancy) access by ``(y, x)`` grid coordinates."""
+        y, x = key
+        return self._data[self._curve.encode(y, x)]
+
+    def __setitem__(self, key, value):
+        y, x = key
+        self._data[self._curve.encode(y, x)] = value
+
+    def row(self, y: int) -> np.ndarray:
+        """Gather logical row ``y`` (a copy, in column order)."""
+        xs = np.arange(self.side, dtype=np.uint64)
+        return self._data[self._curve.encode(np.uint64(y), xs)]
+
+    def col(self, x: int) -> np.ndarray:
+        """Gather logical column ``x`` (a copy, in row order)."""
+        ys = np.arange(self.side, dtype=np.uint64)
+        return self._data[self._curve.encode(ys, np.uint64(x))]
+
+    def block(self, y0: int, x0: int, size: int) -> np.ndarray:
+        """Gather the dense ``size x size`` block with top-left ``(y0, x0)``."""
+        return self._data[self.block_indices(y0, x0, size)].reshape(size, size)
+
+    def block_indices(self, y0: int, x0: int, size: int) -> np.ndarray:
+        """Buffer offsets of a block, shaped ``(size, size)`` then raveled."""
+        if y0 < 0 or x0 < 0 or y0 + size > self.side or x0 + size > self.side:
+            raise LayoutError(
+                f"block ({y0},{x0})+{size} exceeds side {self.side}"
+            )
+        ys = (y0 + np.arange(size, dtype=np.uint64))[:, None]
+        xs = (x0 + np.arange(size, dtype=np.uint64))[None, :]
+        return self._curve.encode(ys, xs).ravel()
+
+    def set_block(self, y0: int, x0: int, values: np.ndarray) -> None:
+        """Scatter a dense block back into curve storage."""
+        size = values.shape[0]
+        if values.shape != (size, size):
+            raise LayoutError(f"block values must be square, got {values.shape}")
+        self._data[self.block_indices(y0, x0, size)] = values.ravel()
+
+    # -- conversions ---------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a row-major 2-D array (a copy)."""
+        return self._data[self._curve.permutation()].reshape(self.shape)
+
+    def copy(self) -> "CurveMatrix":
+        """Deep copy (same curve object, new buffer)."""
+        return CurveMatrix(self._data.copy(), self._curve)
+
+    # -- misc ----------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CurveMatrix):
+            return NotImplemented
+        if self._curve == other._curve:
+            return bool(np.array_equal(self._data, other._data))
+        return self.side == other.side and bool(
+            np.array_equal(self.to_dense(), other.to_dense())
+        )
+
+    def __hash__(self):  # matrices are mutable
+        raise TypeError("CurveMatrix is unhashable (mutable buffer)")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CurveMatrix(side={self.side}, curve={self._curve.code!r}, "
+            f"dtype={self.dtype})"
+        )

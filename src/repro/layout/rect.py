@@ -1,0 +1,123 @@
+"""Rectangular matrices over quadrant curves, via transparent padding.
+
+Quadrant-recursive curves need square power-of-two sides; real matrices
+rarely oblige.  :class:`PaddedCurveMatrix` wraps a logical ``rows x cols``
+matrix in a padded :class:`~repro.layout.matrix.CurveMatrix`: storage and
+kernels operate on the padded square (zero padding keeps products exact),
+while the public face — shape, element access, ``to_dense`` — stays the
+logical rectangle.  The memory overhead is bounded by 4x (side rounds up
+to the next power of two) and is reported by :attr:`padding_overhead`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve, get_curve
+from repro.errors import LayoutError
+from repro.layout.matrix import CurveMatrix
+from repro.util.bits import ceil_pow2
+
+__all__ = ["PaddedCurveMatrix", "rect_matmul"]
+
+
+class PaddedCurveMatrix:
+    """A logical ``rows x cols`` matrix stored in a padded curve square."""
+
+    __slots__ = ("_inner", "_rows", "_cols")
+
+    def __init__(self, inner: CurveMatrix, rows: int, cols: int):
+        if rows <= 0 or cols <= 0:
+            raise LayoutError("logical dimensions must be positive")
+        if inner.side < max(rows, cols):
+            raise LayoutError(
+                f"padded side {inner.side} smaller than logical "
+                f"{rows}x{cols}"
+            )
+        self._inner = inner
+        self._rows = rows
+        self._cols = cols
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, curve: str | SpaceFillingCurve = "mo"):
+        """Wrap an arbitrary 2-D array (zero-padded to the curve square)."""
+        if dense.ndim != 2:
+            raise LayoutError(f"expected 2-D, got ndim={dense.ndim}")
+        rows, cols = dense.shape
+        side = ceil_pow2(max(rows, cols))
+        if isinstance(curve, str):
+            curve = get_curve(curve, side)
+        if curve.side != side:
+            raise LayoutError(
+                f"curve side {curve.side} != required padded side {side}"
+            )
+        padded = np.zeros((side, side), dtype=dense.dtype)
+        padded[:rows, :cols] = dense
+        return cls(CurveMatrix.from_dense(padded, curve), rows, cols)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical (rows, cols)."""
+        return (self._rows, self._cols)
+
+    @property
+    def inner(self) -> CurveMatrix:
+        """The padded square storage (for kernels)."""
+        return self._inner
+
+    @property
+    def padded_side(self) -> int:
+        return self._inner.side
+
+    @property
+    def padding_overhead(self) -> float:
+        """Stored elements over logical elements (>= 1)."""
+        return self._inner.curve.npoints / (self._rows * self._cols)
+
+    def __getitem__(self, key):
+        y, x = key
+        self._check(y, x)
+        return self._inner[y, x]
+
+    def __setitem__(self, key, value):
+        y, x = key
+        self._check(y, x)
+        self._inner[y, x] = value
+
+    def _check(self, y, x) -> None:
+        ya, xa = np.asarray(y), np.asarray(x)
+        if ya.size and (int(np.max(ya)) >= self._rows or int(np.min(ya)) < 0):
+            raise LayoutError(f"row index out of range for {self.shape}")
+        if xa.size and (int(np.max(xa)) >= self._cols or int(np.min(xa)) < 0):
+            raise LayoutError(f"column index out of range for {self.shape}")
+
+    def to_dense(self) -> np.ndarray:
+        """The logical rectangle, materialized."""
+        return self._inner.to_dense()[: self._rows, : self._cols]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PaddedCurveMatrix(shape={self.shape}, "
+            f"padded_side={self.padded_side}, "
+            f"curve={self._inner.curve.code!r})"
+        )
+
+
+def rect_matmul(a: PaddedCurveMatrix, b: PaddedCurveMatrix, leaf: int = 64) -> PaddedCurveMatrix:
+    """Product of rectangular matrices via the recursive kernel.
+
+    Shapes must chain (``a.cols == b.rows``); both paddings must coincide
+    (they do whenever the three logical dimensions share the same next
+    power of two — otherwise re-wrap the smaller operand at the larger
+    side first).
+    """
+    if a.shape[1] != b.shape[0]:
+        raise LayoutError(f"shape mismatch: {a.shape} @ {b.shape}")
+    if a.padded_side != b.padded_side:
+        raise LayoutError(
+            "operand paddings differ; re-wrap to a common padded side"
+        )
+    from repro.kernels.recursive import recursive_matmul
+
+    c_inner = recursive_matmul(a.inner, b.inner, leaf=leaf)
+    return PaddedCurveMatrix(c_inner, a.shape[0], b.shape[1])

@@ -1,0 +1,168 @@
+"""Curve-ordered sparse matrices (related-work extension).
+
+The paper's related work notes an extension of the Peano multiplication
+scheme to sparse matrices (Bader & Heinecke, PARA'08).  The enabling data
+structure is implemented here: a COO matrix whose entries are **sorted by
+their space-filling-curve index**.  For quadrant-recursive curves this
+buys the same property as dense curve storage: every aligned power-of-two
+block of the matrix occupies one *contiguous slice* of the entry arrays
+(extractable with two binary searches), so block-recursive sparse kernels
+need no per-block scan, and streaming the entries walks the matrix with
+the curve's locality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve, get_curve
+from repro.errors import LayoutError
+from repro.layout.views import block_range
+
+__all__ = ["CurveSparseMatrix"]
+
+
+class CurveSparseMatrix:
+    """COO sparse matrix with entries sorted along a space-filling curve."""
+
+    __slots__ = ("_curve", "_idx", "_vals")
+
+    def __init__(self, idx: np.ndarray, vals: np.ndarray, curve: SpaceFillingCurve):
+        idx = np.asarray(idx, dtype=np.uint64)
+        vals = np.asarray(vals)
+        if idx.ndim != 1 or vals.ndim != 1 or len(idx) != len(vals):
+            raise LayoutError("idx and vals must be 1-D of equal length")
+        if len(idx) and int(idx.max()) >= curve.npoints:
+            raise LayoutError("entry index out of range for curve")
+        if np.any(np.diff(idx.astype(np.int64)) < 0):
+            raise LayoutError("entries must be sorted by curve index")
+        if len(np.unique(idx)) != len(idx):
+            raise LayoutError("duplicate entries")
+        self._curve = curve
+        self._idx = idx
+        self._vals = vals
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_coo(cls, ys, xs, vals, curve: SpaceFillingCurve | str, side: int | None = None):
+        """Build from coordinate triplets (any order; duplicates summed)."""
+        ys = np.asarray(ys, dtype=np.uint64)
+        xs = np.asarray(xs, dtype=np.uint64)
+        vals = np.asarray(vals)
+        if isinstance(curve, str):
+            if side is None:
+                raise LayoutError("side required when curve given by code")
+            curve = get_curve(curve, side)
+        idx = curve.encode(ys, xs)
+        order = np.argsort(idx, kind="stable")
+        idx, vals = idx[order], vals[order]
+        # Sum duplicates.
+        uniq, inverse = np.unique(idx, return_inverse=True)
+        if len(uniq) != len(idx):
+            summed = np.zeros(len(uniq), dtype=vals.dtype)
+            np.add.at(summed, inverse, vals)
+            idx, vals = uniq, summed
+        return cls(idx, vals, curve)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, curve: SpaceFillingCurve | str, tol: float = 0.0):
+        """Keep entries with ``|value| > tol``."""
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+            raise LayoutError(f"expected square 2-D array, got {dense.shape}")
+        if isinstance(curve, str):
+            curve = get_curve(curve, dense.shape[0])
+        if curve.side != dense.shape[0]:
+            raise LayoutError("curve side mismatch")
+        ys, xs = np.nonzero(np.abs(dense) > tol)
+        return cls.from_coo(ys.astype(np.uint64), xs.astype(np.uint64),
+                            dense[ys, xs], curve)
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def curve(self) -> SpaceFillingCurve:
+        return self._curve
+
+    @property
+    def side(self) -> int:
+        return self._curve.side
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return len(self._idx)
+
+    @property
+    def density(self) -> float:
+        """nnz over the full matrix size."""
+        return self.nnz / self._curve.npoints
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Sorted curve indices of the entries (read-only view)."""
+        return self._idx
+
+    @property
+    def values(self) -> np.ndarray:
+        """Entry values aligned with :attr:`indices`."""
+        return self._vals
+
+    # -- access ---------------------------------------------------------------
+
+    def coords(self) -> tuple[np.ndarray, np.ndarray]:
+        """Grid coordinates of all entries, in curve order."""
+        return self._curve.decode(self._idx)
+
+    def block_slice(self, y0: int, x0: int, size: int) -> slice:
+        """Entry-array slice holding the aligned block ``(y0, x0, size)``.
+
+        Two binary searches — possible because aligned blocks of a
+        quadrant-recursive curve are contiguous index ranges.  Raises
+        :class:`LayoutError` for layouts without that property.
+        """
+        start, stop = block_range(self._curve, y0, x0, size)
+        lo = int(np.searchsorted(self._idx, start, side="left"))
+        hi = int(np.searchsorted(self._idx, stop, side="left"))
+        return slice(lo, hi)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense row-major array."""
+        out = np.zeros((self.side, self.side), dtype=self._vals.dtype)
+        ys, xs = self.coords()
+        out[ys, xs] = self._vals
+        return out
+
+    # -- kernels --------------------------------------------------------------
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix-vector product ``A @ x``.
+
+        Entries stream in curve order, so gathers from ``x`` and scatters
+        into the result inherit the curve's locality (blocked access for
+        Morton/Hilbert vs row-sweep for row-major sorting).
+        """
+        x = np.asarray(x)
+        if x.shape != (self.side,):
+            raise LayoutError(f"vector length {x.shape} != side {self.side}")
+        ys, xs = self.coords()
+        out = np.zeros(self.side, dtype=np.promote_types(self._vals.dtype, x.dtype))
+        np.add.at(out, ys, self._vals * x[xs])
+        return out
+
+    def matmul_dense(self, b: np.ndarray) -> np.ndarray:
+        """Sparse-times-dense product ``A @ B`` (B row-major dense)."""
+        b = np.asarray(b)
+        if b.shape != (self.side, self.side):
+            raise LayoutError(f"operand shape {b.shape} != {(self.side, self.side)}")
+        ys, xs = self.coords()
+        out = np.zeros((self.side, self.side),
+                       dtype=np.promote_types(self._vals.dtype, b.dtype))
+        np.add.at(out, ys, self._vals[:, None] * b[xs])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CurveSparseMatrix(side={self.side}, curve={self._curve.code!r}, "
+            f"nnz={self.nnz})"
+        )

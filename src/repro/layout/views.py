@@ -1,0 +1,109 @@
+"""Quadrant structure of curve-ordered buffers.
+
+For quadrant-recursive curves (Morton, Hilbert) every aligned power-of-two
+block occupies a **contiguous** range of the backing buffer — the paper's
+"inherent tiling effect" in its strongest form.  This module exposes that
+structure: contiguous sub-buffer views for recursive kernels, and the
+grid-quadrant visit order at each refinement level.
+
+For the Morton order the quadrant permutation *within* the sub-buffer is
+translation-invariant (the same at every block), so a single cached
+de-permutation turns any leaf into a dense tile.  The Hilbert order rotates
+sub-curves, so leaf gathers must use per-block encode — which
+:meth:`repro.layout.matrix.CurveMatrix.block` already does generically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.morton import MortonCurve
+from repro.errors import LayoutError
+from repro.layout.matrix import CurveMatrix
+
+__all__ = ["QuadrantView", "quadrant_views", "block_range", "is_block_contiguous"]
+
+
+@dataclass(frozen=True)
+class QuadrantView:
+    """One quadrant of a curve-ordered buffer.
+
+    Attributes
+    ----------
+    y0, x0:
+        Grid coordinates of the quadrant's top-left corner.
+    size:
+        Quadrant side length.
+    start, stop:
+        Contiguous range in the parent buffer holding the quadrant.
+    """
+
+    y0: int
+    x0: int
+    size: int
+    start: int
+    stop: int
+
+
+def block_range(curve: SpaceFillingCurve, y0: int, x0: int, size: int) -> tuple[int, int]:
+    """Buffer range ``(start, stop)`` of an aligned block, if contiguous.
+
+    Raises :class:`LayoutError` when the block is not stored contiguously in
+    this curve (e.g. any block of a row-major layout with ``size < side``).
+    """
+    if size <= 0 or y0 % size or x0 % size:
+        raise LayoutError(
+            f"block ({y0},{x0}) size {size} is not aligned to its size"
+        )
+    lo = int(curve.encode(y0, x0))
+    corners = [
+        int(curve.encode(y0 + size - 1, x0 + size - 1)),
+        int(curve.encode(y0, x0 + size - 1)),
+        int(curve.encode(y0 + size - 1, x0)),
+        lo,
+    ]
+    start, stop = min(corners), max(corners) + 1
+    if stop - start != size * size:
+        raise LayoutError(
+            f"block ({y0},{x0}) size {size} is not contiguous in "
+            f"{type(curve).__name__}"
+        )
+    return start, stop
+
+
+def is_block_contiguous(curve: SpaceFillingCurve, y0: int, x0: int, size: int) -> bool:
+    """``True`` when the aligned block occupies one contiguous buffer range."""
+    try:
+        block_range(curve, y0, x0, size)
+    except LayoutError:
+        return False
+    return True
+
+
+def quadrant_views(matrix: CurveMatrix) -> list[QuadrantView]:
+    """The four quadrants of a Morton/Hilbert matrix, in buffer order.
+
+    The list is ordered by buffer offset, i.e. by the curve's visit order of
+    the quadrants; each view's ``(y0, x0)`` records which grid quadrant it
+    is.  Raises :class:`LayoutError` for non-quadrant curves or side < 2.
+    """
+    curve = matrix.curve
+    if not isinstance(curve, (MortonCurve, HilbertCurve)):
+        raise LayoutError(
+            f"quadrant views need a quadrant-recursive curve, got {curve.code!r}"
+        )
+    n = curve.side
+    if n < 2:
+        raise LayoutError("side must be at least 2 to have quadrants")
+    half = n // 2
+    views = []
+    for y0 in (0, half):
+        for x0 in (0, half):
+            start, stop = block_range(curve, y0, x0, half)
+            views.append(QuadrantView(y0, x0, half, start, stop))
+    views.sort(key=lambda v: v.start)
+    return views

@@ -1,0 +1,25 @@
+"""Instrumentation layer: PAPI-like counters, 10 Hz sampling, cachegrind."""
+
+from repro.perf.counters import KNOWN_EVENTS, EventSet, events_from_hierarchy
+from repro.perf.sampling import (
+    DEFAULT_SAMPLE_HZ,
+    PowerLog,
+    power_from_samples,
+    sample_rapl_counter,
+    trapezoid_energy,
+)
+from repro.perf.cachegrind import CachegrindReport, CachegrindSim, TagReport
+
+__all__ = [
+    "EventSet",
+    "KNOWN_EVENTS",
+    "events_from_hierarchy",
+    "PowerLog",
+    "sample_rapl_counter",
+    "power_from_samples",
+    "trapezoid_energy",
+    "DEFAULT_SAMPLE_HZ",
+    "CachegrindSim",
+    "CachegrindReport",
+    "TagReport",
+]

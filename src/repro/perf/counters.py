@@ -1,0 +1,96 @@
+"""PAPI-style named-event counter interface.
+
+The paper obtains its measurements "using the PAPI 5.3.0 library, which
+provides a high-level interface for reading performance counters"
+(Section III-A).  This module provides the equivalent facade over the
+simulator: a small event-set API (`add_event` / `start` / `stop` / `read`)
+whose event values are filled in from simulation results, so experiment
+code reads counters exactly the way PAPI-instrumented C code would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.hierarchy import HierarchyResult
+
+__all__ = ["EventSet", "KNOWN_EVENTS", "events_from_hierarchy"]
+
+#: Supported event names (PAPI preset naming convention).
+KNOWN_EVENTS = (
+    "PAPI_L1_DCM",   # L1 data cache misses
+    "PAPI_L2_DCM",   # L2 data cache misses
+    "PAPI_L3_TCM",   # L3 total cache misses
+    "PAPI_L3_DCR",   # L3 data cache reads (read misses reaching L3's input)
+    "PAPI_LD_INS",   # load instructions
+    "PAPI_SR_INS",   # store instructions
+    "RAPL_PKG_ENERGY",
+    "RAPL_PP0_ENERGY",
+    "RAPL_DRAM_ENERGY",
+)
+
+
+@dataclass
+class _EventState:
+    value: float = 0.0
+    started: float = 0.0
+
+
+class EventSet:
+    """A PAPI-like event set: add events, start, accumulate, stop, read."""
+
+    def __init__(self):
+        self._events: dict[str, _EventState] = {}
+        self._running = False
+
+    def add_event(self, name: str) -> None:
+        """Register an event; unknown names are rejected like PAPI does."""
+        if name not in KNOWN_EVENTS:
+            raise SimulationError(
+                f"unknown event {name!r}; known: {KNOWN_EVENTS}"
+            )
+        if self._running:
+            raise SimulationError("cannot add events while running")
+        self._events.setdefault(name, _EventState())
+
+    def start(self) -> None:
+        """Begin counting: read() reports deltas from this point."""
+        if self._running:
+            raise SimulationError("event set already running")
+        self._running = True
+        for st in self._events.values():
+            st.started = st.value
+
+    def accumulate(self, name: str, amount: float) -> None:
+        """Deposit counts for an event (called by the simulation glue)."""
+        if name not in self._events:
+            raise SimulationError(f"event {name!r} not in set")
+        if amount < 0:
+            raise SimulationError("counter increments must be non-negative")
+        self._events[name].value += amount
+
+    def stop(self) -> dict[str, float]:
+        """Stop counting and return the deltas since :meth:`start`."""
+        if not self._running:
+            raise SimulationError("event set not running")
+        self._running = False
+        return self.read()
+
+    def read(self) -> dict[str, float]:
+        """Deltas since the last :meth:`start` (PAPI_read semantics)."""
+        return {
+            name: st.value - st.started for name, st in self._events.items()
+        }
+
+
+def events_from_hierarchy(result: HierarchyResult) -> dict[str, float]:
+    """Map a cache-simulation result onto PAPI event names."""
+    return {
+        "PAPI_L1_DCM": float(result.l1.misses),
+        "PAPI_L2_DCM": float(result.l2.misses),
+        "PAPI_L3_TCM": float(result.l3.misses),
+        "PAPI_L3_DCR": float(result.l3.read_misses),
+        "PAPI_LD_INS": float(result.l1.accesses - result.l1.write_accesses),
+        "PAPI_SR_INS": float(result.l1.write_accesses),
+    }

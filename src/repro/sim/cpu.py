@@ -1,0 +1,106 @@
+"""Core timing model: cycles per inner-loop iteration, per ordering scheme.
+
+The paper's finding that "recorded execution times most notably reflect
+[the op-count ordering] by HO indexing giving the consistently longest
+completion time" (Section IV) comes down to how many cycles one iteration
+of the naive kernel's inner loop costs under each indexing scheme.  This
+module models that, accounting for what an optimizing compiler does to each
+scheme:
+
+* **RM** — both indices strength-reduce to pointer increments: the loop is
+  essentially loads + FMA + loop overhead.
+* **MO** — ``dilate(i)`` and ``dilate(j)`` hoist out of the ``k`` loop, so
+  each iteration pays **one** dilation (of ``k``) plus two shift/OR
+  combines.
+* **HO** — the Lam–Shapiro bit-pair scan depends on *both* coordinates, so
+  nothing hoists: each iteration pays two full translations, each linear in
+  the address bits, plus data-dependent branches with their misprediction
+  cost.
+
+Constants live in :class:`~repro.sim.config.CoreSpec`; with the defaults
+the model lands within ~10% of the paper's measured single-thread in-cache
+times (Table IV, size 10, 2.6 GHz: RM 3.3 s, MO 6.2 s, HO 41.4 s — i.e.
+8 / 15 / 100 cycles per iteration).
+"""
+
+from __future__ import annotations
+
+from repro.curves.cost import index_cost
+from repro.curves.dilation import DILATION_OP_COUNT_2D
+from repro.sim.config import CoreSpec
+from repro.util.bits import ilog2, is_pow2
+
+__all__ = ["cycles_per_iteration", "kernel_compute_seconds", "hoisted_index_ops"]
+
+
+def hoisted_index_ops(scheme: str, bits: int) -> tuple[float, float]:
+    """(ALU ops, branches) per inner-loop iteration after loop hoisting.
+
+    The inner loop runs over ``k`` with ``i`` and ``j`` fixed; anything
+    depending only on ``i``/``j`` is computed once per loop and amortizes
+    to ~zero per iteration.
+    """
+    code = scheme.lower()
+    if code in ("rm", "cm"):
+        # Strength-reduced to two pointer increments (A advances by one
+        # element, B by one row/column stride).
+        return 2.0, 0.0
+    if code == "brm":
+        # Tile-local pointer increments plus an occasional tile-boundary
+        # recompute; ~3 ops amortized.
+        return 3.0, 0.0
+    if code == "mo":
+        # dilate(k) once (shared by the A and B indices) + two combines
+        # (shift+or) each.
+        return DILATION_OP_COUNT_2D + 4.0, 0.0
+    if code == "mo-inc":
+        # Incremental dilated arithmetic (Wise): both the A index (x step)
+        # and the B index (y step) advance with a 4-op dilated add.
+        return 8.0, 0.0
+    if code == "ho-hw":
+        # Future-work scenario (paper Section VI): a dedicated Hilbert
+        # index instruction; one issue slot + move per operand index.
+        return 4.0, 0.0
+    if code == "ho":
+        # Two full translations (A(i,k) and B(k,j)): interleave + scan.
+        c = index_cost("ho", bits)
+        return 2.0 * c.alu, 2.0 * c.branches
+    if code == "po":
+        c = index_cost("po", bits)
+        return 2.0 * (c.muls + c.alu), 2.0 * c.branches
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def cycles_per_iteration(scheme: str, n: int, core: CoreSpec | None = None) -> float:
+    """Model cycles for one ``C[i,j] += A[i,k] * B[k,j]`` iteration.
+
+    ``n`` is the matrix side (its log2 is the per-coordinate address
+    length the Hilbert scan walks).
+    """
+    core = core or CoreSpec()
+    if n < 2:
+        raise ValueError(f"side must be >= 2, got {n}")
+    bits = ilog2(n) if is_pow2(n) else n.bit_length()
+    alu, branches = hoisted_index_ops(scheme, bits)
+    cycles = (
+        core.loop_overhead_cycles
+        + core.fma_cycles
+        + alu / core.issue_width
+        + branches * core.branch_miss_rate * core.branch_miss_penalty
+    )
+    return cycles
+
+
+def kernel_compute_seconds(
+    scheme: str, n: int, freq_ghz: float, threads: int = 1, core: CoreSpec | None = None
+) -> float:
+    """Pure compute time of the naive kernel (no memory stalls).
+
+    The kernel parallelizes over output rows with no inter-iteration
+    dependencies, so compute divides by the thread count.
+    """
+    if freq_ghz <= 0 or threads <= 0:
+        raise ValueError("freq_ghz and threads must be positive")
+    iters = float(n) ** 3
+    cyc = cycles_per_iteration(scheme, n, core)
+    return iters * cyc / (freq_ghz * 1e9) / threads

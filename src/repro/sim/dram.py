@@ -1,0 +1,81 @@
+"""DRAM timing: effective bandwidth of a thread population.
+
+The model that closes the loop between miss counts and wall-clock time.
+Each thread can keep ``mlp`` misses in flight, so a single thread's demand
+bandwidth is capped at ``mlp * line / latency`` (latency-bound regime);
+the socket's channels cap the aggregate (bandwidth-bound regime).  Threads
+scattered across two sockets see interleaved pages, so roughly half their
+accesses are remote and pay the NUMA latency factor — which is why the
+paper's dual-socket runs at equal thread counts are *slower* than single
+socket for memory-bound sizes (Table IV, sizes 11/12, "8" column).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.config import CoreSpec, DRAMSpec, MachineSpec
+
+__all__ = ["effective_bandwidth_gbps", "memory_seconds", "dram_power_watts"]
+
+
+def effective_bandwidth_gbps(
+    machine: MachineSpec,
+    threads: int,
+    sockets_used: int,
+    freq_ghz: float,
+    line_bytes: int = 64,
+) -> float:
+    """Sustained demand bandwidth [GB/s] for the given placement.
+
+    ``freq_ghz`` enters through the core-side cost of turning around a miss
+    (detecting it, issuing the next): a few core cycles per miss that add
+    to the memory latency, giving memory-bound runs the *mild* frequency
+    sensitivity visible in the paper's Table IV.
+    """
+    if threads <= 0:
+        raise SimulationError(f"threads must be positive, got {threads}")
+    if not 1 <= sockets_used <= machine.sockets:
+        raise SimulationError(f"sockets_used {sockets_used} out of range")
+    if freq_ghz <= 0:
+        raise SimulationError(f"freq_ghz must be positive, got {freq_ghz}")
+    dram = machine.dram
+    core = machine.core
+    # Core-side per-miss overhead: ~20 core cycles of issue/turnaround.
+    core_side_ns = 20.0 / freq_ghz
+    latency_ns = dram.latency_ns + core_side_ns
+    if sockets_used > 1:
+        # First-touch allocation concentrates pages on the initializing
+        # socket, so in a split run the off-node threads pay the full
+        # remote latency and straggle behind — the run completes at the
+        # straggler's per-thread rate (see the paper's 2d/8d rows).
+        latency_ns *= dram.numa_remote_latency_factor
+    per_thread = core.mlp * line_bytes / latency_ns  # GB/s (bytes/ns)
+    socket_cap = dram.bandwidth_gbps * sockets_used
+    return min(threads * per_thread, socket_cap)
+
+
+def memory_seconds(
+    machine: MachineSpec,
+    llc_miss_lines: float,
+    threads: int,
+    sockets_used: int,
+    freq_ghz: float,
+    line_bytes: int = 64,
+) -> float:
+    """Time to serve the demand-miss traffic at the effective bandwidth."""
+    if llc_miss_lines < 0:
+        raise SimulationError("miss count must be non-negative")
+    bw = effective_bandwidth_gbps(machine, threads, sockets_used, freq_ghz, line_bytes)
+    return llc_miss_lines * line_bytes / (bw * 1e9)
+
+
+def dram_power_watts(dram: DRAMSpec, demand_gbps: float) -> float:
+    """DRAM power: DIMM background plus traffic-proportional access power.
+
+    The background term dominates — the paper's observation that "DRAM
+    energy consumption is nearly constant" across configurations.
+    """
+    if demand_gbps < 0:
+        raise SimulationError("bandwidth must be non-negative")
+    background = dram.dimms_total * dram.background_watts_per_dimm
+    return background + dram.access_watts_per_gbps * demand_gbps

@@ -1,0 +1,123 @@
+"""Multi-level cache hierarchies: private L1/L2 per core, shared L3.
+
+:class:`CoreHierarchy` chains one core's private levels; :class:`SocketSim`
+owns one shared L3 and the private hierarchies of the socket's cores.
+Misses of each level feed the next (write-allocate; writeback traffic is
+accounted as bandwidth, not re-simulated as demand accesses — the naive
+matmul workload is read-dominated, with C rows written once and disjoint
+per thread, so coherence and writeback interference are negligible by
+construction; this simplification is recorded in DESIGN.md).
+
+Thread interleaving at the shared L3 is chunk-granular round-robin: each
+call delivers one thread's chunk of L2 misses.  At the chunk sizes the
+trace generators emit (a few thousand lines) this approximates fine-grained
+interleaving well for capacity behaviour, which is the effect under study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.cache import Cache, CacheStats
+from repro.sim.config import MachineSpec
+from repro.trace.events import TraceChunk
+
+__all__ = ["CoreHierarchy", "SocketSim", "HierarchyResult"]
+
+
+@dataclass
+class HierarchyResult:
+    """Per-level statistics snapshot after a simulation run."""
+
+    l1: CacheStats
+    l2: CacheStats
+    l3: CacheStats
+    dram_lines: int
+    dram_writeback_lines: int
+
+    @property
+    def dram_bytes(self) -> int:
+        """Demand bytes fetched from memory (line-granular)."""
+        return self.dram_lines * 64
+
+    @property
+    def llc_misses(self) -> int:
+        """Demand misses at the last level (reads + writes)."""
+        return self.l3.misses
+
+
+class CoreHierarchy:
+    """One core's private L1 and L2."""
+
+    def __init__(self, machine: MachineSpec):
+        if machine.l1.line_bytes != machine.l2.line_bytes:
+            raise SimulationError("L1/L2 line sizes must match")
+        self.l1 = Cache(machine.l1)
+        self.l2 = Cache(machine.l2)
+
+    def access_chunk(self, chunk: TraceChunk):
+        """Feed a chunk; returns the L2 miss stream (lines, is_write, tags)."""
+        lines, w, t = self.l1.access_chunk(chunk)
+        if len(lines) == 0:
+            return lines, w, t
+        return self.l2.access_lines(lines, w, t)
+
+    def reset(self) -> None:
+        self.l1.reset()
+        self.l2.reset()
+
+
+class SocketSim:
+    """One socket: ``n_cores`` private hierarchies sharing an L3.
+
+    Feed per-thread chunks with :meth:`access_chunk`; the shared L3 sees
+    them in call order (the caller round-robins threads).
+    """
+
+    def __init__(self, machine: MachineSpec, n_cores: int | None = None):
+        if machine.l2.line_bytes != machine.l3.line_bytes:
+            raise SimulationError("L2/L3 line sizes must match")
+        self.machine = machine
+        self.n_cores = n_cores if n_cores is not None else machine.cores_per_socket
+        if not 1 <= self.n_cores <= machine.cores_per_socket:
+            raise SimulationError(
+                f"n_cores {self.n_cores} exceeds socket capacity "
+                f"{machine.cores_per_socket}"
+            )
+        self.cores = [CoreHierarchy(machine) for _ in range(self.n_cores)]
+        self.l3 = Cache(machine.l3)
+        self.dram_lines = 0
+
+    def access_chunk(self, core: int, chunk: TraceChunk) -> None:
+        """Run one thread's chunk through its private levels and the L3."""
+        if not 0 <= core < self.n_cores:
+            raise SimulationError(f"core {core} out of range 0..{self.n_cores - 1}")
+        lines, w, t = self.cores[core].access_chunk(chunk)
+        if len(lines) == 0:
+            return
+        miss_lines, _, _ = self.l3.access_lines(lines, w, t)
+        self.dram_lines += len(miss_lines)
+
+    def result(self) -> HierarchyResult:
+        """Aggregate per-level statistics (private levels summed)."""
+        l1 = CacheStats()
+        l2 = CacheStats()
+        for core in self.cores:
+            l1.merge(core.l1.stats)
+            l2.merge(core.l2.stats)
+        return HierarchyResult(
+            l1=l1,
+            l2=l2,
+            l3=self.l3.stats,
+            dram_lines=self.dram_lines,
+            dram_writeback_lines=self.l3.stats.writebacks,
+        )
+
+    def reset(self) -> None:
+        for core in self.cores:
+            core.reset()
+        self.l3.reset()
+        self.dram_lines = 0

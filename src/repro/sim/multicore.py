@@ -1,0 +1,177 @@
+"""Trace-driven multicore simulation of the naive kernel.
+
+Mirrors the paper's execution setup (Section III): the output-row loop is
+statically partitioned over threads (OpenMP ``parallel for``), threads are
+either packed onto one socket (``s`` configurations) or split evenly
+between both (``d``), each socket's threads share that socket's L3, and
+every thread owns private L1/L2.
+
+The simulation interleaves per-thread trace generation chunk-by-chunk in
+round-robin order, approximating concurrent execution at the shared L3.
+This is the *exact-cache* engine used at scaled problem sizes — for
+calibration of the analytic model and for the cachegrind study — not a
+timing simulator: time and energy at paper scale come from
+:mod:`repro.sim.analytic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.config import MachineSpec
+from repro.sim.hierarchy import HierarchyResult, SocketSim
+from repro.trace.matmul_trace import MatmulTraceSpec, naive_matmul_trace
+
+__all__ = ["ThreadPlacement", "partition_rows", "MulticoreTraceSim"]
+
+
+@dataclass(frozen=True)
+class ThreadPlacement:
+    """Where each thread runs: ``(socket, core_within_socket)`` per thread."""
+
+    threads: int
+    sockets_used: int
+    assignments: tuple[tuple[int, int], ...]
+
+    @classmethod
+    def pack(cls, machine: MachineSpec, threads: int, sockets_used: int) -> "ThreadPlacement":
+        """The paper's placements: packed on one socket or split evenly.
+
+        ``sockets_used=1`` packs threads onto socket 0; ``sockets_used=2``
+        assigns threads alternately (even thread ids on socket 0), which
+        distributes any row-partition imbalance evenly.
+        """
+        if threads <= 0:
+            raise SimulationError(f"threads must be positive, got {threads}")
+        if not 1 <= sockets_used <= machine.sockets:
+            raise SimulationError(f"sockets_used {sockets_used} out of range")
+        per_socket = -(-threads // sockets_used)
+        if per_socket > machine.cores_per_socket:
+            raise SimulationError(
+                f"{threads} threads on {sockets_used} socket(s) exceeds "
+                f"{machine.cores_per_socket} cores/socket"
+            )
+        counts = [0] * sockets_used
+        assignments = []
+        for t in range(threads):
+            s = t % sockets_used
+            assignments.append((s, counts[s]))
+            counts[s] += 1
+        return cls(threads, sockets_used, tuple(assignments))
+
+
+def partition_rows(n: int, threads: int) -> list[range]:
+    """OpenMP-style static partition of ``n`` output rows over threads.
+
+    Contiguous blocks, earlier threads take the remainder — matching
+    ``schedule(static)`` with default chunking.
+    """
+    if threads <= 0 or n <= 0:
+        raise SimulationError("n and threads must be positive")
+    base, rem = divmod(n, threads)
+    out = []
+    start = 0
+    for t in range(threads):
+        size = base + (1 if t < rem else 0)
+        out.append(range(start, start + size))
+        start += size
+    return out
+
+
+def partition_rows_cyclic(n: int, threads: int) -> list[range]:
+    """``schedule(static, 1)`` partition: thread ``t`` gets rows t, t+p, ...
+
+    The ablation counterpart to :func:`partition_rows`: cyclic assignment
+    interleaves neighbouring rows across threads, which (for curve layouts,
+    where adjacent rows share cache lines) trades private-cache reuse for
+    shared-LLC overlap.
+    """
+    if threads <= 0 or n <= 0:
+        raise SimulationError("n and threads must be positive")
+    return [range(t, n, threads) for t in range(threads)]
+
+
+class MulticoreTraceSim:
+    """Run a naive-matmul trace through a multi-socket cache model."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        spec: MatmulTraceSpec,
+        threads: int = 1,
+        sockets_used: int = 1,
+        cols_per_chunk: int = 64,
+        schedule: str = "static",
+    ):
+        if schedule not in ("static", "cyclic"):
+            raise SimulationError(
+                f"schedule must be 'static' or 'cyclic', got {schedule!r}"
+            )
+        self.machine = machine
+        self.spec = spec
+        self.placement = ThreadPlacement.pack(machine, threads, sockets_used)
+        self.cols_per_chunk = cols_per_chunk
+        self.schedule = schedule
+        cores_needed = [0] * sockets_used
+        for s, c in self.placement.assignments:
+            cores_needed[s] = max(cores_needed[s], c + 1)
+        self.sockets = [
+            SocketSim(machine, n_cores=cores_needed[s]) for s in range(sockets_used)
+        ]
+
+    def run(self, rows: list[int] | None = None) -> HierarchyResult:
+        """Simulate; ``rows`` restricts the sampled output rows (paper's
+        few-rows device) — they are partitioned over threads like a full
+        run's row space would be."""
+        n = self.spec.n
+        row_space = list(range(n)) if rows is None else list(rows)
+        partition = (
+            partition_rows if self.schedule == "static" else partition_rows_cyclic
+        )
+        parts = partition(len(row_space), self.placement.threads)
+        generators = []
+        for t, part in enumerate(parts):
+            thread_rows = [row_space[i] for i in part]
+            gen = naive_matmul_trace(
+                self.spec, rows=thread_rows, cols_per_chunk=self.cols_per_chunk
+            )
+            generators.append(gen)
+
+        live = list(range(self.placement.threads))
+        while live:
+            finished = []
+            for t in live:
+                try:
+                    chunk = next(generators[t])
+                except StopIteration:
+                    finished.append(t)
+                    continue
+                socket, core = self.placement.assignments[t]
+                self.sockets[socket].access_chunk(core, chunk)
+            for t in finished:
+                live.remove(t)
+        return self.result()
+
+    def result(self) -> HierarchyResult:
+        """Statistics aggregated over all sockets (fresh copies)."""
+        from repro.sim.cache import CacheStats
+
+        agg = HierarchyResult(
+            l1=CacheStats(), l2=CacheStats(), l3=CacheStats(),
+            dram_lines=0, dram_writeback_lines=0,
+        )
+        for s in self.sockets:
+            r = s.result()
+            agg.l1.merge(r.l1)
+            agg.l2.merge(r.l2)
+            agg.l3.merge(r.l3)
+            agg.dram_lines += r.dram_lines
+            agg.dram_writeback_lines += r.dram_writeback_lines
+        return agg
+
+    def reset(self) -> None:
+        for s in self.sockets:
+            s.reset()

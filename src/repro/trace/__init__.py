@@ -1,0 +1,47 @@
+"""Memory-reference trace generation (kernel streams and synthetic loads)."""
+
+from repro.trace.events import (
+    TAG_A,
+    TAG_B,
+    TAG_C,
+    TAG_NAMES,
+    TraceChunk,
+    concat_chunks,
+)
+from repro.trace.synthetic import (
+    random_trace,
+    sequential_trace,
+    strided_trace,
+    working_set_loop_trace,
+)
+from repro.trace.matmul_trace import (
+    ELEM_BYTES,
+    MatmulTraceSpec,
+    naive_matmul_trace,
+    trace_length,
+)
+from repro.trace.blocked_trace import (
+    blocked_trace_length,
+    recursive_matmul_trace,
+    tiled_matmul_trace,
+)
+
+__all__ = [
+    "TraceChunk",
+    "concat_chunks",
+    "TAG_A",
+    "TAG_B",
+    "TAG_C",
+    "TAG_NAMES",
+    "sequential_trace",
+    "strided_trace",
+    "random_trace",
+    "working_set_loop_trace",
+    "MatmulTraceSpec",
+    "naive_matmul_trace",
+    "trace_length",
+    "ELEM_BYTES",
+    "tiled_matmul_trace",
+    "recursive_matmul_trace",
+    "blocked_trace_length",
+]

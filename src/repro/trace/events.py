@@ -1,0 +1,97 @@
+"""Memory-reference trace representation.
+
+A trace is a stream of :class:`TraceChunk` objects — structure-of-arrays
+batches of memory accesses, sized for vectorized pre-processing (address →
+cache-line mapping) before the per-access cache simulation.  Each access
+carries a byte address, a read/write flag and a small integer *tag*
+identifying its source (which matrix, which source location), which is what
+the cachegrind-style attribution (:mod:`repro.perf.cachegrind`) groups by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TraceChunk", "TAG_A", "TAG_B", "TAG_C", "TAG_NAMES", "concat_chunks"]
+
+#: Conventional tags for the three matrices of a multiplication.
+TAG_A = 0
+TAG_B = 1
+TAG_C = 2
+TAG_NAMES = {TAG_A: "A", TAG_B: "B", TAG_C: "C"}
+
+
+@dataclass
+class TraceChunk:
+    """A batch of memory accesses.
+
+    Attributes
+    ----------
+    addr:
+        Byte addresses, ``uint64``.
+    is_write:
+        Write flags, ``bool``; same length as ``addr``.
+    tag:
+        Source tags, ``uint8``; same length as ``addr``.
+    """
+
+    addr: np.ndarray
+    is_write: np.ndarray
+    tag: np.ndarray
+
+    def __post_init__(self):
+        self.addr = np.ascontiguousarray(self.addr, dtype=np.uint64)
+        self.is_write = np.ascontiguousarray(self.is_write, dtype=bool)
+        self.tag = np.ascontiguousarray(self.tag, dtype=np.uint8)
+        if not (len(self.addr) == len(self.is_write) == len(self.tag)):
+            raise ValueError(
+                "addr, is_write and tag must have equal lengths, got "
+                f"{len(self.addr)}, {len(self.is_write)}, {len(self.tag)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.addr)
+
+    @classmethod
+    def reads(cls, addr: np.ndarray, tag: int = TAG_A) -> "TraceChunk":
+        """All-read chunk with a uniform tag."""
+        addr = np.asarray(addr, dtype=np.uint64)
+        return cls(
+            addr,
+            np.zeros(len(addr), dtype=bool),
+            np.full(len(addr), tag, dtype=np.uint8),
+        )
+
+    @classmethod
+    def writes(cls, addr: np.ndarray, tag: int = TAG_C) -> "TraceChunk":
+        """All-write chunk with a uniform tag."""
+        addr = np.asarray(addr, dtype=np.uint64)
+        return cls(
+            addr,
+            np.ones(len(addr), dtype=bool),
+            np.full(len(addr), tag, dtype=np.uint8),
+        )
+
+    def lines(self, line_bytes: int) -> np.ndarray:
+        """Cache-line numbers of all accesses."""
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError(f"line_bytes must be a power of two, got {line_bytes}")
+        shift = np.uint64(line_bytes.bit_length() - 1)
+        return self.addr >> shift
+
+
+def concat_chunks(chunks: list[TraceChunk]) -> TraceChunk:
+    """Concatenate chunks into one (mainly for tests and small traces)."""
+    if not chunks:
+        return TraceChunk(
+            np.empty(0, dtype=np.uint64),
+            np.empty(0, dtype=bool),
+            np.empty(0, dtype=np.uint8),
+        )
+    return TraceChunk(
+        np.concatenate([c.addr for c in chunks]),
+        np.concatenate([c.is_write for c in chunks]),
+        np.concatenate([c.tag for c in chunks]),
+    )

@@ -1,0 +1,86 @@
+"""Synthetic reference streams for cache-simulator tests and calibration.
+
+Each generator yields :class:`~repro.trace.events.TraceChunk` batches whose
+cache behaviour is known in closed form, so the simulator's hit/miss counts
+can be asserted exactly (sequential streams, strided streams, working-set
+loops) or statistically (uniform random).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.trace.events import TraceChunk
+from repro.util.chunking import DEFAULT_CHUNK, chunk_ranges
+
+__all__ = [
+    "sequential_trace",
+    "strided_trace",
+    "random_trace",
+    "working_set_loop_trace",
+]
+
+
+def sequential_trace(
+    n_accesses: int, elem_bytes: int = 8, base: int = 0, chunk: int = DEFAULT_CHUNK
+) -> Iterator[TraceChunk]:
+    """Unit-stride read stream: one miss per line, otherwise hits."""
+    for start, stop in chunk_ranges(n_accesses, chunk):
+        idx = np.arange(start, stop, dtype=np.uint64)
+        yield TraceChunk.reads(base + idx * elem_bytes)
+
+
+def strided_trace(
+    n_accesses: int,
+    stride_bytes: int,
+    base: int = 0,
+    chunk: int = DEFAULT_CHUNK,
+) -> Iterator[TraceChunk]:
+    """Constant-stride read stream (e.g. a column walk of a dense matrix)."""
+    if stride_bytes <= 0:
+        raise ValueError(f"stride_bytes must be positive, got {stride_bytes}")
+    for start, stop in chunk_ranges(n_accesses, chunk):
+        idx = np.arange(start, stop, dtype=np.uint64)
+        yield TraceChunk.reads(base + idx * stride_bytes)
+
+
+def random_trace(
+    n_accesses: int,
+    footprint_bytes: int,
+    elem_bytes: int = 8,
+    seed: int = 0,
+    chunk: int = DEFAULT_CHUNK,
+) -> Iterator[TraceChunk]:
+    """Uniform random reads over a fixed footprint."""
+    if footprint_bytes < elem_bytes:
+        raise ValueError("footprint must hold at least one element")
+    rng = np.random.default_rng(seed)
+    n_elems = footprint_bytes // elem_bytes
+    for start, stop in chunk_ranges(n_accesses, chunk):
+        idx = rng.integers(0, n_elems, size=stop - start, dtype=np.uint64)
+        yield TraceChunk.reads(idx * elem_bytes)
+
+
+def working_set_loop_trace(
+    working_set_bytes: int,
+    passes: int,
+    elem_bytes: int = 8,
+    chunk: int = DEFAULT_CHUNK,
+) -> Iterator[TraceChunk]:
+    """Repeated sequential sweeps over a fixed working set.
+
+    After the first pass, an LRU cache larger than the working set hits on
+    every access; a smaller one misses on every line (the classic LRU
+    pathology for cyclic sweeps) — both are asserted by the tests.
+    """
+    if passes <= 0:
+        raise ValueError(f"passes must be positive, got {passes}")
+    n_elems = working_set_bytes // elem_bytes
+    if n_elems == 0:
+        raise ValueError("working set must hold at least one element")
+    for _ in range(passes):
+        for start, stop in chunk_ranges(n_elems, chunk):
+            idx = np.arange(start, stop, dtype=np.uint64)
+            yield TraceChunk.reads(idx * elem_bytes)

@@ -1,0 +1,36 @@
+"""Shared low-level helpers: bit manipulation, validation, chunked iteration."""
+
+from repro.util.bits import (
+    bit_length,
+    ceil_pow2,
+    ilog2,
+    ilog3,
+    interleave_bits_naive,
+    is_pow2,
+    is_pow3,
+    reverse_bit_pairs,
+)
+from repro.util.chunking import chunk_ranges, chunked
+from repro.util.validation import (
+    check_dtype_integral,
+    check_nonnegative,
+    check_positive,
+    check_square_pow2,
+)
+
+__all__ = [
+    "bit_length",
+    "ceil_pow2",
+    "ilog2",
+    "ilog3",
+    "interleave_bits_naive",
+    "is_pow2",
+    "is_pow3",
+    "reverse_bit_pairs",
+    "chunk_ranges",
+    "chunked",
+    "check_dtype_integral",
+    "check_nonnegative",
+    "check_positive",
+    "check_square_pow2",
+]

@@ -1,0 +1,126 @@
+"""Bit-manipulation primitives used by the curve implementations.
+
+These helpers are deliberately small and dependency-free; the performance-
+critical vectorized paths live next to the algorithms that need them (e.g.
+:mod:`repro.curves.dilation`).  The naive reference implementations here are
+used by the test suite as oracles for the optimized code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "is_pow2",
+    "is_pow3",
+    "ilog2",
+    "ilog3",
+    "ceil_pow2",
+    "bit_length",
+    "interleave_bits_naive",
+    "deinterleave_bits_naive",
+    "reverse_bit_pairs",
+]
+
+
+def is_pow2(n: int) -> bool:
+    """Return ``True`` if ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def is_pow3(n: int) -> bool:
+    """Return ``True`` if ``n`` is a positive power of three."""
+    if n <= 0:
+        return False
+    while n % 3 == 0:
+        n //= 3
+    return n == 1
+
+
+def ilog2(n: int) -> int:
+    """Integer log base 2 of a positive power of two.
+
+    Raises ``ValueError`` when ``n`` is not a power of two, because every
+    caller in this package relies on exactness (the value is used as a bit
+    count, not an estimate).
+    """
+    if not is_pow2(n):
+        raise ValueError(f"ilog2 requires a positive power of two, got {n!r}")
+    return n.bit_length() - 1
+
+
+def ilog3(n: int) -> int:
+    """Integer log base 3 of a positive power of three."""
+    if not is_pow3(n):
+        raise ValueError(f"ilog3 requires a positive power of three, got {n!r}")
+    k = 0
+    while n > 1:
+        n //= 3
+        k += 1
+    return k
+
+
+def ceil_pow2(n: int) -> int:
+    """Smallest power of two ``>= n`` (``n`` must be positive)."""
+    if n <= 0:
+        raise ValueError(f"ceil_pow2 requires a positive integer, got {n!r}")
+    return 1 << (n - 1).bit_length() if n > 1 else 1
+
+
+def bit_length(n: int) -> int:
+    """``int.bit_length`` exposed as a function (handy for ``map``/tests)."""
+    return int(n).bit_length()
+
+
+def interleave_bits_naive(major: int, minor: int, bits: int) -> int:
+    """Bitwise interleaving of two coordinates, one bit at a time.
+
+    This is the textbook loop version of the serialization in the paper's
+    Fig. 3: bit ``i`` of ``major`` lands at position ``2*i + 1`` and bit ``i``
+    of ``minor`` at position ``2*i``.  It is the oracle against which the
+    Raman–Wise shift/mask dilation is tested.
+    """
+    if major < 0 or minor < 0:
+        raise ValueError("coordinates must be non-negative")
+    out = 0
+    for i in range(bits):
+        out |= ((minor >> i) & 1) << (2 * i)
+        out |= ((major >> i) & 1) << (2 * i + 1)
+    return out
+
+
+def deinterleave_bits_naive(index: int, bits: int) -> tuple[int, int]:
+    """Inverse of :func:`interleave_bits_naive`; returns ``(major, minor)``."""
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    major = 0
+    minor = 0
+    for i in range(bits):
+        minor |= ((index >> (2 * i)) & 1) << i
+        major |= ((index >> (2 * i + 1)) & 1) << i
+    return major, minor
+
+
+def reverse_bit_pairs(value: int, pairs: int) -> int:
+    """Reverse a value interpreted as a sequence of 2-bit digits.
+
+    Used by tests of the Hilbert transformation, which scans bit pairs from
+    most to least significant.
+    """
+    out = 0
+    for _ in range(pairs):
+        out = (out << 2) | (value & 0b11)
+        value >>= 2
+    return out
+
+
+def as_uint64(arr: np.ndarray | int) -> np.ndarray:
+    """Coerce an integer array (or scalar) to ``uint64`` without copies when
+    already the right dtype.  Negative inputs raise ``ValueError`` instead of
+    silently wrapping around."""
+    a = np.asarray(arr)
+    if a.dtype.kind not in ("i", "u"):
+        raise ValueError(f"expected an integer array, got dtype {a.dtype}")
+    if a.dtype.kind == "i" and a.size and int(a.min()) < 0:
+        raise ValueError("expected non-negative values")
+    return a.astype(np.uint64, copy=False)

@@ -1,0 +1,45 @@
+"""Chunked iteration over large index spaces.
+
+Trace generation walks index spaces of up to tens of millions of elements;
+materializing them at once would defeat the point of a streaming simulator.
+These helpers split a range (or an arbitrary sequence) into bounded chunks
+while keeping each chunk big enough for NumPy vectorization to pay off.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import TypeVar
+
+import numpy as np
+
+__all__ = ["chunk_ranges", "chunked", "DEFAULT_CHUNK"]
+
+#: Default number of elements per chunk.  Chosen so that a chunk of uint64
+#: addresses (~4 MB) stays cache- and allocator-friendly while amortizing
+#: NumPy dispatch overhead.
+DEFAULT_CHUNK = 1 << 19
+
+T = TypeVar("T")
+
+
+def chunk_ranges(total: int, chunk: int = DEFAULT_CHUNK) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` half-open ranges covering ``[0, total)``.
+
+    ``chunk`` must be positive; the final range may be shorter.
+    """
+    if chunk <= 0:
+        raise ValueError(f"chunk must be positive, got {chunk!r}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total!r}")
+    start = 0
+    while start < total:
+        stop = min(start + chunk, total)
+        yield start, stop
+        start = stop
+
+
+def chunked(seq: Sequence[T] | np.ndarray, chunk: int = DEFAULT_CHUNK) -> Iterator[Sequence[T]]:
+    """Yield successive slices of ``seq`` of at most ``chunk`` elements."""
+    for start, stop in chunk_ranges(len(seq), chunk):
+        yield seq[start:stop]

@@ -1,0 +1,59 @@
+"""Argument-validation helpers producing consistent error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.bits import is_pow2
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_square_pow2",
+    "check_dtype_integral",
+    "check_in_range",
+]
+
+
+def check_positive(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(value: float, lo: float, hi: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_square_pow2(matrix: np.ndarray, name: str = "matrix") -> int:
+    """Validate that ``matrix`` is 2-D, square, with power-of-two side.
+
+    Returns the side length.  Quadrant-recursive curves (Morton, Hilbert)
+    require power-of-two sides; callers wanting arbitrary sizes pad first
+    (see :func:`repro.layout.matrix.pad_to_pow2`).
+    """
+    if matrix.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got ndim={matrix.ndim}")
+    rows, cols = matrix.shape
+    if rows != cols:
+        raise ValueError(f"{name} must be square, got shape {matrix.shape}")
+    if not is_pow2(rows):
+        raise ValueError(
+            f"{name} side must be a power of two, got {rows} "
+            "(pad with repro.layout.pad_to_pow2 first)"
+        )
+    return rows
+
+
+def check_dtype_integral(arr: np.ndarray, name: str) -> None:
+    """Raise ``ValueError`` unless ``arr`` has an integer dtype."""
+    if np.asarray(arr).dtype.kind not in ("i", "u"):
+        raise ValueError(f"{name} must have an integer dtype, got {np.asarray(arr).dtype}")

@@ -1,0 +1,57 @@
+"""Index-cost model: the RM < MO < HO ordering of paper Section IV."""
+
+import pytest
+
+from repro.curves import IndexOpCount, index_cost
+
+
+class TestOrdering:
+    @pytest.mark.parametrize("bits", [10, 11, 12])
+    def test_rm_lt_mo_lt_ho(self, bits):
+        rm = index_cost("rm", bits).total
+        mo = index_cost("mo", bits).total
+        ho = index_cost("ho", bits).total
+        assert rm < mo < ho
+
+    def test_rm_is_mul_plus_add(self):
+        c = index_cost("rm", 12)
+        assert (c.muls, c.alu, c.branches) == (1, 1, 0)
+
+    def test_rm_mo_constant_in_bits(self):
+        assert index_cost("rm", 10) == index_cost("rm", 30)
+        assert index_cost("mo", 10) == index_cost("mo", 30)
+
+    def test_ho_linear_in_bits(self):
+        d1 = index_cost("ho", 11).total - index_cost("ho", 10).total
+        d2 = index_cost("ho", 12).total - index_cost("ho", 11).total
+        assert d1 == d2 > 0
+
+    def test_mo_counts_two_dilations(self):
+        # 2 x (5 shifts + 5 masks + 5 combines) + shift + or = 32 ALU ops.
+        assert index_cost("mo", 12).alu == 32
+
+    def test_ho_includes_mo(self):
+        bits = 12
+        assert index_cost("ho", bits).alu > index_cost("mo", bits).alu
+
+    def test_branches_only_for_scanning_curves(self):
+        assert index_cost("rm", 12).branches == 0
+        assert index_cost("mo", 12).branches == 0
+        assert index_cost("ho", 12).branches == 12
+        assert index_cost("po", 12).branches > 0
+
+
+class TestValidation:
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            index_cost("zz", 12)
+
+    def test_nonpositive_bits(self):
+        with pytest.raises(ValueError):
+            index_cost("rm", 0)
+
+    def test_opcount_addition(self):
+        a = IndexOpCount(muls=1, alu=2, branches=3)
+        b = IndexOpCount(muls=4, alu=5, branches=6)
+        assert a + b == IndexOpCount(muls=5, alu=7, branches=9)
+        assert (a + b).total == 21

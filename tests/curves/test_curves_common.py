@@ -1,0 +1,150 @@
+"""Properties every registered curve must satisfy (bijection, inverses)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves import (
+    BlockRowMajorCurve,
+    ColumnMajorCurve,
+    HilbertCurve,
+    MortonCurve,
+    PeanoCurve,
+    RowMajorCurve,
+    available_curves,
+    get_curve,
+)
+from repro.errors import CurveDomainError
+
+POW2_CURVES = [RowMajorCurve, ColumnMajorCurve, MortonCurve, HilbertCurve]
+
+
+def all_test_curves(side_pow2=16, side_pow3=9):
+    curves = [cls(side_pow2) for cls in POW2_CURVES]
+    curves.append(BlockRowMajorCurve(side_pow2, tile=4))
+    curves.append(PeanoCurve(side_pow3))
+    return curves
+
+
+@pytest.mark.parametrize("curve", all_test_curves(), ids=lambda c: c.code)
+class TestCurveContract:
+    def test_encode_decode_roundtrip_all_points(self, curve):
+        d = np.arange(curve.npoints, dtype=np.uint64)
+        y, x = curve.decode(d)
+        np.testing.assert_array_equal(curve.encode(y, x), d)
+
+    def test_bijection(self, curve):
+        grid = curve.position_grid()
+        assert sorted(grid.ravel().tolist()) == list(range(curve.npoints))
+
+    def test_scalar_matches_vector(self, curve):
+        d = np.arange(curve.npoints, dtype=np.uint64)
+        ys, xs = curve.decode(d)
+        for i in (0, 1, curve.npoints // 2, curve.npoints - 1):
+            assert curve.decode(i) == (int(ys[i]), int(xs[i]))
+            assert curve.encode(int(ys[i]), int(xs[i])) == i
+
+    def test_scalar_returns_python_int(self, curve):
+        d = curve.encode(0, 0)
+        assert type(d) is int
+        y, x = curve.decode(0)
+        assert type(y) is int and type(x) is int
+
+    def test_encode_rejects_out_of_range(self, curve):
+        with pytest.raises(CurveDomainError):
+            curve.encode(curve.side, 0)
+        with pytest.raises(CurveDomainError):
+            curve.encode(0, curve.side)
+
+    def test_decode_rejects_out_of_range(self, curve):
+        with pytest.raises(CurveDomainError):
+            curve.decode(curve.npoints)
+
+    def test_encode_rejects_negative(self, curve):
+        with pytest.raises((CurveDomainError, ValueError)):
+            curve.encode(-1, 0)
+
+    def test_traversal_covers_grid(self, curve):
+        ys, xs = curve.traversal()
+        assert len(set(zip(ys.tolist(), xs.tolist()))) == curve.npoints
+
+    def test_permutation_is_position_grid_ravel(self, curve):
+        np.testing.assert_array_equal(
+            curve.permutation(), curve.position_grid().ravel()
+        )
+
+    def test_broadcasting(self, curve):
+        ys = np.arange(curve.side, dtype=np.uint64).reshape(-1, 1)
+        xs = np.arange(curve.side, dtype=np.uint64)
+        grid = curve.encode(ys, xs)
+        np.testing.assert_array_equal(grid, curve.position_grid())
+
+    def test_equality_and_hash(self, curve):
+        clone = type(curve)(curve.side) if not isinstance(
+            curve, BlockRowMajorCurve
+        ) else BlockRowMajorCurve(curve.side, tile=curve.tile)
+        assert clone == curve
+        assert hash(clone) == hash(curve)
+
+
+class TestRegistry:
+    def test_expected_codes_available(self):
+        assert {"rm", "cm", "brm", "mo", "ho", "po"} <= set(available_curves())
+
+    def test_get_curve_constructs(self):
+        c = get_curve("mo", 8)
+        assert isinstance(c, MortonCurve)
+        assert c.side == 8
+
+    def test_get_curve_case_insensitive(self):
+        assert isinstance(get_curve("MO", 8), MortonCurve)
+
+    def test_unknown_code_raises_with_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            get_curve("nope", 8)
+
+    def test_zero_side_rejected(self):
+        for code in available_curves():
+            with pytest.raises(CurveDomainError):
+                get_curve(code, 0)
+
+
+class TestSideConstraints:
+    @pytest.mark.parametrize("cls", [MortonCurve, HilbertCurve])
+    def test_pow2_required(self, cls):
+        with pytest.raises(CurveDomainError):
+            cls(12)
+
+    def test_peano_pow3_required(self):
+        with pytest.raises(CurveDomainError):
+            PeanoCurve(8)
+
+    def test_rowmajor_any_side(self):
+        c = RowMajorCurve(7)
+        assert c.encode(2, 3) == 17
+
+    def test_blockrowmajor_tile_must_divide(self):
+        with pytest.raises(CurveDomainError):
+            BlockRowMajorCurve(16, tile=5)
+
+    def test_blockrowmajor_tile_positive(self):
+        with pytest.raises(CurveDomainError):
+            BlockRowMajorCurve(16, tile=0)
+
+
+@settings(max_examples=40)
+@given(
+    order=st.integers(min_value=1, max_value=9),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_morton_hilbert_random_points_roundtrip(order, seed):
+    side = 1 << order
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, side, size=64, dtype=np.uint64)
+    x = rng.integers(0, side, size=64, dtype=np.uint64)
+    for cls in (MortonCurve, HilbertCurve):
+        c = cls(side)
+        yy, xx = c.decode(c.encode(y, x))
+        np.testing.assert_array_equal(yy, y)
+        np.testing.assert_array_equal(xx, x)

@@ -1,0 +1,98 @@
+"""Dilated-integer coordinate arithmetic (the mo-inc machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves import MortonCurve
+from repro.curves.dilated import (
+    DilatedPoint,
+    morton_add_x,
+    morton_col_indices,
+    morton_increment_x,
+    morton_increment_y,
+    morton_row_indices,
+)
+from repro.errors import CurveDomainError
+
+C = MortonCurve(1 << 16)
+
+
+class TestIncrements:
+    @given(
+        y=st.integers(min_value=0, max_value=2**15 - 1),
+        x=st.integers(min_value=0, max_value=2**15 - 2),
+    )
+    def test_increment_x(self, y, x):
+        w = C.encode(y, x)
+        assert morton_increment_x(w) == C.encode(y, x + 1)
+
+    @given(
+        y=st.integers(min_value=0, max_value=2**15 - 2),
+        x=st.integers(min_value=0, max_value=2**15 - 1),
+    )
+    def test_increment_y(self, y, x):
+        w = C.encode(y, x)
+        assert morton_increment_y(w) == C.encode(y + 1, x)
+
+    @given(
+        y=st.integers(min_value=0, max_value=2**14),
+        x=st.integers(min_value=0, max_value=2**14),
+        dx=st.integers(min_value=0, max_value=2**14),
+    )
+    def test_add_x(self, y, x, dx):
+        w = C.encode(y, x)
+        assert morton_add_x(w, dx) == C.encode(y, x + dx)
+
+    def test_add_x_rejects_negative(self):
+        with pytest.raises(CurveDomainError):
+            morton_add_x(0, -1)
+
+    def test_carry_across_gap(self):
+        # x = 0b0111 -> 0b1000: the carry must skip the interleaved y bits.
+        w = C.encode(5, 7)
+        assert morton_increment_x(w) == C.encode(5, 8)
+
+
+class TestDilatedPoint:
+    def test_roundtrip(self):
+        p = DilatedPoint(12, 34)
+        assert (p.y, p.x) == (12, 34)
+        assert p.index == C.encode(12, 34)
+
+    def test_steps(self):
+        p = DilatedPoint(3, 5)
+        assert p.step_x() == DilatedPoint(3, 6)
+        assert p.step_x(10) == DilatedPoint(3, 15)
+        assert p.step_y() == DilatedPoint(4, 5)
+        assert p.step_y(3) == DilatedPoint(6, 5)
+
+    def test_hashable(self):
+        assert len({DilatedPoint(0, 1), DilatedPoint(0, 1), DilatedPoint(1, 0)}) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(CurveDomainError):
+            DilatedPoint(-1, 0)
+
+
+class TestWalks:
+    @pytest.mark.parametrize("n", [2, 8, 64])
+    def test_row_walk_matches_encode(self, n):
+        c = MortonCurve(n)
+        for y in (0, n // 2, n - 1):
+            want = c.encode(np.uint64(y), np.arange(n, dtype=np.uint64))
+            np.testing.assert_array_equal(morton_row_indices(y, n), want)
+
+    @pytest.mark.parametrize("n", [2, 8, 64])
+    def test_col_walk_matches_encode(self, n):
+        c = MortonCurve(n)
+        for x in (0, n // 2, n - 1):
+            want = c.encode(np.arange(n, dtype=np.uint64), np.uint64(x))
+            np.testing.assert_array_equal(morton_col_indices(x, n), want)
+
+    def test_validation(self):
+        with pytest.raises(CurveDomainError):
+            morton_row_indices(-1, 4)
+        with pytest.raises(CurveDomainError):
+            morton_col_indices(0, 0)

@@ -1,0 +1,65 @@
+"""Inductive constructions must agree with the arithmetic curves (Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.curves import (
+    HilbertCurve,
+    MortonCurve,
+    PeanoCurve,
+    hilbert_sequence,
+    morton_sequence,
+    peano_sequence,
+    render_traversal_grid,
+    render_traversal_path,
+)
+
+
+def as_pairs(curve):
+    ys, xs = curve.traversal()
+    return list(zip(ys.tolist(), xs.tolist()))
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("order", range(6))
+    def test_morton(self, order):
+        assert morton_sequence(order) == as_pairs(MortonCurve(1 << order))
+
+    @pytest.mark.parametrize("order", range(6))
+    def test_hilbert(self, order):
+        assert hilbert_sequence(order) == as_pairs(HilbertCurve(1 << order))
+
+    @pytest.mark.parametrize("order", range(4))
+    def test_peano(self, order):
+        assert peano_sequence(order) == as_pairs(PeanoCurve(3**order))
+
+    def test_negative_order_rejected(self):
+        for fn in (morton_sequence, hilbert_sequence, peano_sequence):
+            with pytest.raises(ValueError):
+                fn(-1)
+
+
+class TestRendering:
+    def test_grid_render_lists_all_positions(self):
+        text = render_traversal_grid(morton_sequence(2))
+        cells = text.split()
+        assert sorted(int(c) for c in cells) == list(range(16))
+
+    def test_grid_render_shape(self):
+        text = render_traversal_grid(hilbert_sequence(2))
+        assert len(text.splitlines()) == 4
+
+    def test_path_render_hilbert_has_no_gaps(self):
+        # A continuous curve of 4^k points has 4^k - 1 drawn segments.
+        text = render_traversal_path(hilbert_sequence(2))
+        segments = text.count("-") + text.count("|")
+        assert segments == 15
+
+    def test_path_render_morton_has_gaps(self):
+        text = render_traversal_path(morton_sequence(2))
+        segments = text.count("-") + text.count("|")
+        assert segments < 15
+
+    def test_path_render_marks_every_point(self):
+        text = render_traversal_path(peano_sequence(1))
+        assert text.count("o") == 9

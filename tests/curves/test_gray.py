@@ -1,0 +1,104 @@
+"""Gray-coded Z-order curve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves import (
+    GrayMortonCurve,
+    HilbertCurve,
+    MortonCurve,
+    continuity_profile,
+    get_curve,
+    gray_decode,
+    gray_encode,
+)
+from repro.errors import CurveDomainError
+from repro.util.bits import is_pow2
+
+
+class TestGrayCode:
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_roundtrip(self, v):
+        assert gray_decode(gray_encode(v)) == v
+
+    @given(st.integers(min_value=0, max_value=2**32 - 2))
+    def test_adjacent_codes_differ_in_one_bit(self, v):
+        diff = gray_encode(v) ^ gray_encode(v + 1)
+        assert diff != 0 and diff & (diff - 1) == 0
+
+    def test_vectorized(self):
+        vs = np.arange(4096, dtype=np.uint64)
+        np.testing.assert_array_equal(gray_decode(gray_encode(vs)), vs)
+
+    def test_known_values(self):
+        assert [gray_encode(v) for v in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+
+class TestGrayMortonCurve:
+    @pytest.mark.parametrize("order", range(1, 7))
+    def test_bijection_and_roundtrip(self, order):
+        side = 1 << order
+        c = GrayMortonCurve(side)
+        d = np.arange(side * side, dtype=np.uint64)
+        y, x = c.decode(d)
+        np.testing.assert_array_equal(c.encode(y, x), d)
+        assert len(set(zip(y.tolist(), x.tolist()))) == side * side
+
+    def test_steps_are_axis_aligned_powers_of_two(self):
+        c = GrayMortonCurve(16)
+        ys, xs = c.traversal()
+        dy = np.diff(ys.astype(np.int64))
+        dx = np.diff(xs.astype(np.int64))
+        # Exactly one coordinate moves per step, by a power of two.
+        assert np.all((dy == 0) ^ (dx == 0))
+        steps = np.abs(dy + dx)
+        assert all(is_pow2(int(s)) for s in steps)
+
+    def test_locality_between_morton_and_hilbert(self):
+        n = 32
+        mo = continuity_profile(MortonCurve(n)).mean()
+        go = continuity_profile(GrayMortonCurve(n)).mean()
+        ho = continuity_profile(HilbertCurve(n)).mean()
+        assert ho < go < mo
+
+    def test_max_jump_half_of_mortons(self):
+        n = 32
+        mo = continuity_profile(MortonCurve(n)).max()
+        go = continuity_profile(GrayMortonCurve(n)).max()
+        assert go <= mo // 2
+
+    def test_registered(self):
+        assert isinstance(get_curve("go", 8), GrayMortonCurve)
+
+    def test_order_property(self):
+        assert GrayMortonCurve(16).order == 4
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(CurveDomainError):
+            GrayMortonCurve(10)
+
+    def test_quadrants_contiguous(self):
+        # Gray-coded Z-order preserves the quadrant recursion, hence the
+        # tiling effect.
+        from repro.curves import tile_span
+
+        spans = tile_span(GrayMortonCurve(16), 4)
+        assert np.all(spans == 16)
+
+
+@settings(max_examples=25)
+@given(
+    order=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_random_roundtrip(order, seed):
+    side = 1 << order
+    c = GrayMortonCurve(side)
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, side, 16, dtype=np.uint64)
+    x = rng.integers(0, side, 16, dtype=np.uint64)
+    yy, xx = c.decode(c.encode(y, x))
+    np.testing.assert_array_equal(yy, y)
+    np.testing.assert_array_equal(xx, x)

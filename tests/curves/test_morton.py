@@ -1,0 +1,108 @@
+"""Morton-specific behaviour: Fig. 1/3, Table I, 3-D codes, tiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.curves import MortonCurve, morton_decode3, morton_encode3
+from repro.util.bits import interleave_bits_naive
+
+
+class TestPaperArtifacts:
+    def test_table1_base_order(self):
+        # Table I (MO): 0 1 / 2 3 with y major.
+        grid = MortonCurve(2).position_grid()
+        np.testing.assert_array_equal(grid, [[0, 1], [2, 3]])
+
+    def test_fig3_serialization_example(self):
+        # Fig. 3: (y=3, x=5) interleaves to y2x2 y1x1 y0x0 = 0b011011 = 27.
+        assert MortonCurve(8).encode(3, 5) == 0b011011 == 27
+
+    def test_fig1_4x4_traversal(self):
+        # The Z pattern of Fig. 1: quadrants in row-major order, recursively.
+        grid = MortonCurve(4).position_grid()
+        np.testing.assert_array_equal(
+            grid,
+            [
+                [0, 1, 4, 5],
+                [2, 3, 6, 7],
+                [8, 9, 12, 13],
+                [10, 11, 14, 15],
+            ],
+        )
+
+    def test_quadrant_gaps(self):
+        # Section II-B: minor discontinuities between quadrants (1,2) and
+        # (3,4), a larger gap between (2,3).  In a 4x4, positions 3->4 jump
+        # from (1,1) to (0,2): grid distance 2; 7->8 jumps from (1,3) to
+        # (2,0): grid distance 4.
+        ys, xs = MortonCurve(4).traversal()
+        y, x = ys.astype(int), xs.astype(int)
+        dist = abs(y[4] - y[3]) + abs(x[4] - x[3])
+        assert dist == 2
+        dist_mid = abs(y[8] - y[7]) + abs(x[8] - x[7])
+        assert dist_mid == 4
+
+
+class TestMortonStructure:
+    @given(st.integers(min_value=1, max_value=10))
+    def test_matches_bit_interleaving(self, order):
+        side = 1 << order
+        c = MortonCurve(side)
+        rng = np.random.default_rng(order)
+        ys = rng.integers(0, side, 32)
+        xs = rng.integers(0, side, 32)
+        for y, x in zip(ys.tolist(), xs.tolist()):
+            assert c.encode(y, x) == interleave_bits_naive(y, x, order)
+
+    def test_aligned_blocks_are_contiguous(self):
+        # The inherent tiling effect: every aligned 2^k block occupies a
+        # contiguous index range of length 4^k.
+        c = MortonCurve(16)
+        grid = c.position_grid().astype(int)
+        for t in (2, 4, 8):
+            for by in range(0, 16, t):
+                for bx in range(0, 16, t):
+                    block = grid[by : by + t, bx : bx + t]
+                    assert block.max() - block.min() + 1 == t * t
+
+    def test_order_property(self):
+        assert MortonCurve(64).order == 6
+
+    def test_first_quadrant_first(self):
+        # First quarter of the traversal stays in the top-left quadrant.
+        c = MortonCurve(8)
+        ys, xs = c.traversal()
+        q = c.npoints // 4
+        assert ys[:q].max() < 4 and xs[:q].max() < 4
+
+
+class TestMorton3D:
+    @given(
+        st.integers(min_value=0, max_value=2**21 - 1),
+        st.integers(min_value=0, max_value=2**21 - 1),
+        st.integers(min_value=0, max_value=2**21 - 1),
+    )
+    def test_roundtrip(self, z, y, x):
+        assert morton_decode3(morton_encode3(z, y, x)) == (z, y, x)
+
+    def test_unit_cube_order(self):
+        # 2x2x2 cube: z major, then y, then x — binary counting.
+        codes = [
+            morton_encode3(z, y, x)
+            for z in (0, 1)
+            for y in (0, 1)
+            for x in (0, 1)
+        ]
+        assert codes == list(range(8))
+
+    def test_vectorized(self):
+        rng = np.random.default_rng(7)
+        z = rng.integers(0, 2**21, 100, dtype=np.uint64)
+        y = rng.integers(0, 2**21, 100, dtype=np.uint64)
+        x = rng.integers(0, 2**21, 100, dtype=np.uint64)
+        zz, yy, xx = morton_decode3(morton_encode3(z, y, x))
+        np.testing.assert_array_equal(zz, z)
+        np.testing.assert_array_equal(yy, y)
+        np.testing.assert_array_equal(xx, x)

@@ -1,0 +1,105 @@
+"""N-dimensional Morton codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves import (
+    MortonCurve,
+    max_bits_for_dims,
+    morton_encode3,
+    nd_morton_decode,
+    nd_morton_encode,
+)
+from repro.errors import CurveDomainError
+
+
+class TestAgainstDedicatedPaths:
+    def test_matches_2d_morton(self):
+        side = 64
+        c = MortonCurve(side)
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, side, 100, dtype=np.uint64)
+        x = rng.integers(0, side, 100, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            nd_morton_encode([y, x], bits=6), c.encode(y, x)
+        )
+
+    def test_matches_3d_morton(self):
+        rng = np.random.default_rng(1)
+        z = rng.integers(0, 2**10, 100, dtype=np.uint64)
+        y = rng.integers(0, 2**10, 100, dtype=np.uint64)
+        x = rng.integers(0, 2**10, 100, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            nd_morton_encode([z, y, x], bits=10), morton_encode3(z, y, x)
+        )
+
+
+class TestGeneralDims:
+    @pytest.mark.parametrize("dims", [1, 2, 3, 4, 5, 6, 8])
+    def test_roundtrip(self, dims):
+        b = min(max_bits_for_dims(dims), 8)
+        rng = np.random.default_rng(dims)
+        coords = [
+            rng.integers(0, 1 << b, 200, dtype=np.uint64) for _ in range(dims)
+        ]
+        codes = nd_morton_encode(coords, bits=b)
+        back = nd_morton_decode(codes, dims, bits=b)
+        for want, got in zip(coords, back):
+            np.testing.assert_array_equal(got, want)
+
+    def test_bijection_small(self):
+        # 3 dims x 2 bits: all 64 points map to distinct codes 0..63.
+        grids = np.meshgrid(*(np.arange(4, dtype=np.uint64),) * 3, indexing="ij")
+        codes = nd_morton_encode([g.ravel() for g in grids], bits=2)
+        assert sorted(codes.tolist()) == list(range(64))
+
+    def test_dim0_is_major(self):
+        # The first coordinate owns the top bit of each group.
+        assert nd_morton_encode([1, 0], bits=1) == 2
+        assert nd_morton_encode([0, 1], bits=1) == 1
+
+    def test_scalar_interface(self):
+        code = nd_morton_encode([3, 5, 7], bits=4)
+        assert isinstance(code, int)
+        assert nd_morton_decode(code, 3, bits=4) == (3, 5, 7)
+
+    def test_one_dimension_is_identity(self):
+        v = np.arange(100, dtype=np.uint64)
+        np.testing.assert_array_equal(nd_morton_encode([v], bits=7), v)
+
+
+class TestValidation:
+    def test_max_bits(self):
+        assert max_bits_for_dims(2) == 32
+        assert max_bits_for_dims(3) == 21
+        assert max_bits_for_dims(8) == 8
+        with pytest.raises(CurveDomainError):
+            max_bits_for_dims(0)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(CurveDomainError):
+            nd_morton_encode([np.array([16], dtype=np.uint64)], bits=4)
+
+    def test_rejects_too_many_bits(self):
+        with pytest.raises(CurveDomainError):
+            nd_morton_encode([1, 2, 3], bits=22)
+
+    def test_rejects_empty(self):
+        with pytest.raises(CurveDomainError):
+            nd_morton_encode([])
+
+
+@settings(max_examples=30)
+@given(
+    dims=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_roundtrip_property(dims, seed):
+    b = min(max_bits_for_dims(dims), 10)
+    rng = np.random.default_rng(seed)
+    coords = [rng.integers(0, 1 << b, 32, dtype=np.uint64) for _ in range(dims)]
+    back = nd_morton_decode(nd_morton_encode(coords, bits=b), dims, bits=b)
+    for want, got in zip(coords, back):
+        np.testing.assert_array_equal(got, want)

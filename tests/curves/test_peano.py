@@ -1,0 +1,75 @@
+"""Peano-curve behaviour: base pattern, continuity, self-similarity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves import PeanoCurve, continuity_profile
+
+
+class TestBasePattern:
+    def test_3x3_serpentine(self):
+        grid = PeanoCurve(3).position_grid()
+        np.testing.assert_array_equal(
+            grid, [[0, 1, 2], [5, 4, 3], [6, 7, 8]]
+        )
+
+    def test_order(self):
+        assert PeanoCurve(27).order == 3
+
+
+class TestContinuity:
+    @pytest.mark.parametrize("side", [3, 9, 27, 81])
+    def test_every_step_is_unit(self, side):
+        assert np.all(continuity_profile(PeanoCurve(side)) == 1)
+
+    def test_endpoints(self):
+        c = PeanoCurve(9)
+        ys, xs = c.traversal()
+        assert (ys[0], xs[0]) == (0, 0)
+        # The Peano curve ends at the opposite corner.
+        assert (ys[-1], xs[-1]) == (c.side - 1, c.side - 1)
+
+
+class TestSelfSimilarity:
+    @pytest.mark.parametrize("side", [9, 27])
+    def test_ninths_stay_in_cells(self, side):
+        c = PeanoCurve(side)
+        ys, xs = c.traversal()
+        ninth = c.npoints // 9
+        cell = side // 3
+        for i in range(9):
+            seg_y = ys[i * ninth : (i + 1) * ninth] // cell
+            seg_x = xs[i * ninth : (i + 1) * ninth] // cell
+            assert seg_y.min() == seg_y.max()
+            assert seg_x.min() == seg_x.max()
+
+    def test_cells_visited_in_serpentine_order(self):
+        c = PeanoCurve(9)
+        ys, xs = c.traversal()
+        ninth = c.npoints // 9
+        cells = [
+            (int(ys[i * ninth]) // 3, int(xs[i * ninth]) // 3) for i in range(9)
+        ]
+        assert cells == [
+            (0, 0), (0, 1), (0, 2),
+            (1, 2), (1, 1), (1, 0),
+            (2, 0), (2, 1), (2, 2),
+        ]
+
+
+@settings(max_examples=30)
+@given(
+    order=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_roundtrip_random(order, seed):
+    side = 3**order
+    c = PeanoCurve(side)
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, side, 32, dtype=np.uint64)
+    x = rng.integers(0, side, 32, dtype=np.uint64)
+    yy, xx = c.decode(c.encode(y, x))
+    np.testing.assert_array_equal(yy, y)
+    np.testing.assert_array_equal(xx, x)

@@ -1,0 +1,71 @@
+"""Row-major family: index formulas, block decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.curves import BlockRowMajorCurve, ColumnMajorCurve, RowMajorCurve
+
+
+class TestRowMajor:
+    @given(
+        side=st.integers(min_value=1, max_value=128),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_formula(self, side, seed):
+        c = RowMajorCurve(side)
+        rng = np.random.default_rng(seed)
+        y = int(rng.integers(0, side))
+        x = int(rng.integers(0, side))
+        assert c.encode(y, x) == y * side + x
+
+    def test_grid_is_arange(self):
+        grid = RowMajorCurve(5).position_grid()
+        np.testing.assert_array_equal(grid, np.arange(25).reshape(5, 5))
+
+
+class TestColumnMajor:
+    def test_transpose_of_rowmajor(self):
+        rm = RowMajorCurve(6).position_grid()
+        cm = ColumnMajorCurve(6).position_grid()
+        np.testing.assert_array_equal(cm, rm.T)
+
+
+class TestBlockRowMajor:
+    def test_degenerate_tile_1_is_rowmajor(self):
+        np.testing.assert_array_equal(
+            BlockRowMajorCurve(8, tile=1).position_grid(),
+            RowMajorCurve(8).position_grid(),
+        )
+
+    def test_degenerate_tile_side_is_rowmajor(self):
+        np.testing.assert_array_equal(
+            BlockRowMajorCurve(8, tile=8).position_grid(),
+            RowMajorCurve(8).position_grid(),
+        )
+
+    def test_tiles_contiguous(self):
+        c = BlockRowMajorCurve(12, tile=4)
+        grid = c.position_grid().astype(int)
+        for by in range(0, 12, 4):
+            for bx in range(0, 12, 4):
+                block = grid[by : by + 4, bx : bx + 4]
+                assert block.max() - block.min() + 1 == 16
+                # Inside a tile: row-major.
+                rel = block - block.min()
+                np.testing.assert_array_equal(rel, np.arange(16).reshape(4, 4))
+
+    def test_tile_order_is_rowmajor_over_tiles(self):
+        c = BlockRowMajorCurve(8, tile=4)
+        grid = c.position_grid().astype(int)
+        starts = [
+            grid[0:4, 0:4].min(),
+            grid[0:4, 4:8].min(),
+            grid[4:8, 0:4].min(),
+            grid[4:8, 4:8].min(),
+        ]
+        assert starts == [0, 16, 32, 48]
+
+    def test_equality_accounts_for_tile(self):
+        assert BlockRowMajorCurve(8, tile=2) != BlockRowMajorCurve(8, tile=4)

@@ -1,0 +1,65 @@
+"""Table III grid: exactly the paper's 216 sample points."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    FREQUENCIES,
+    SCHEMES,
+    SIZE_EXPONENTS,
+    THREAD_CONFIGS,
+    SampleConfig,
+    full_grid,
+    parse_thread_config,
+)
+
+
+class TestGrid:
+    def test_216_sample_points(self):
+        grid = full_grid()
+        assert len(grid) == 216  # Section IV: "a set of 216 sample points"
+
+    def test_all_unique(self):
+        keys = [c.key for c in full_grid()]
+        assert len(set(keys)) == 216
+
+    def test_axes_match_table3(self):
+        assert SCHEMES == ("rm", "mo", "ho")
+        assert SIZE_EXPONENTS == (10, 11, 12)
+        assert FREQUENCIES == (1.2, 1.8, 2.6, "ondemand")
+        assert THREAD_CONFIGS == ("1s", "4s", "8s", "2d", "8d", "16d")
+
+    def test_deterministic_order(self):
+        assert [c.key for c in full_grid()] == [c.key for c in full_grid()]
+
+
+class TestParseThreadConfig:
+    @pytest.mark.parametrize(
+        "cfg,expected",
+        [("1s", (1, 1)), ("4s", (4, 1)), ("8s", (8, 1)),
+         ("2d", (2, 2)), ("8d", (8, 2)), ("16d", (16, 2))],
+    )
+    def test_paper_configs(self, cfg, expected):
+        assert parse_thread_config(cfg) == expected
+
+    def test_case_insensitive(self):
+        assert parse_thread_config("8D") == (8, 2)
+
+    @pytest.mark.parametrize("bad", ["", "s", "8x", "0s", "-2d", "3d", "abc"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ExperimentError):
+            parse_thread_config(bad)
+
+
+class TestSampleConfig:
+    def test_derived_properties(self):
+        cfg = SampleConfig("mo", 11, 1.8, "8d")
+        assert cfg.n == 2048
+        assert cfg.threads == 8
+        assert cfg.sockets_used == 2
+        assert cfg.frequency_label == "1800MHz"
+        assert cfg.key == "mo-11-1800MHz-8d"
+
+    def test_ondemand_label(self):
+        cfg = SampleConfig("rm", 10, "ondemand", "1s")
+        assert cfg.frequency_label == "ondemand"

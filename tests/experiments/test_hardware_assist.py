@@ -1,0 +1,62 @@
+"""Future-work study: index-arithmetic variants."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    VARIANTS,
+    run_hardware_assist_study,
+)
+from repro.sim import cycles_per_iteration, misses_per_iteration
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_hardware_assist_study(runner=ExperimentRunner())
+
+
+class TestVariantModels:
+    def test_cycle_ordering(self):
+        # rm < ho-hw ~ mo-inc < mo << ho
+        n = 4096
+        rm = cycles_per_iteration("rm", n)
+        mo = cycles_per_iteration("mo", n)
+        moi = cycles_per_iteration("mo-inc", n)
+        ho = cycles_per_iteration("ho", n)
+        hohw = cycles_per_iteration("ho-hw", n)
+        assert rm < hohw <= moi < mo < ho
+        assert ho / hohw > 10
+
+    def test_locality_aliases(self):
+        for u in (0.5, 5.0, 20.0):
+            assert misses_per_iteration("mo-inc", u) == misses_per_iteration("mo", u)
+            assert misses_per_iteration("ho-hw", u) == misses_per_iteration("ho", u)
+            assert misses_per_iteration("holut", u) == misses_per_iteration("ho", u)
+
+
+class TestStudy:
+    def test_covers_all_variants(self, study):
+        assert set(study.seconds) == set(VARIANTS)
+
+    def test_hardware_rescues_hilbert(self, study):
+        # The future-work answer: with constant-cost indexing, Hilbert's
+        # (slightly better) locality makes it at least Morton's equal.
+        assert study.ho_hw_vs_mo < 1.0
+        assert study.ho_hw_vs_ho > 5.0
+
+    def test_incremental_morton_beats_plain(self, study):
+        assert study.seconds["mo-inc"] < study.seconds["mo"]
+
+    def test_all_beat_rm_out_of_cache(self, study):
+        for scheme in ("mo", "mo-inc", "ho-hw"):
+            assert study.seconds[scheme] < study.seconds["rm"]
+
+    def test_summary_renders(self, study):
+        text = study.summary()
+        for scheme in VARIANTS:
+            assert scheme in text
+
+    def test_in_cache_hardware_hilbert_close_to_rm(self):
+        s = run_hardware_assist_study(size_exp=10, thread_config="1s")
+        # In-cache, index cost is everything: HO-hw lands near RM.
+        assert s.seconds["ho-hw"] < 1.5 * s.seconds["rm"]

@@ -1,0 +1,45 @@
+"""Consolidated reproduction report."""
+
+import pytest
+
+from repro.experiments import ExperimentRunner, generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(ExperimentRunner(), fast=True)
+
+
+class TestReport:
+    def test_contains_every_artifact(self, report):
+        for heading in (
+            "Table IV",
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "cachegrind",
+            "hardware-assist",
+            "Energy-delay",
+            "Roofline",
+            "Strong scaling",
+            "Mattson",
+            "sensitivity",
+            "Shape validation",
+        ):
+            assert heading in report, heading
+
+    def test_all_validations_pass_in_report(self, report):
+        assert "[PASS]" in report
+        assert "[FAIL]" not in report
+
+    def test_is_markdown(self, report):
+        assert report.startswith("# Reproduction report")
+        assert report.count("## ") >= 10
+
+    def test_cli_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["report", "--output", str(out)]) == 0
+        assert out.exists()
+        assert "Table IV" in out.read_text()

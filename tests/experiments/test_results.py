@@ -1,0 +1,75 @@
+"""Result records and persistence."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentRunner, ResultSet, SampleConfig, SampleResult
+
+
+@pytest.fixture
+def sample():
+    cfg = SampleConfig("mo", 10, 2.6, "4s")
+    return SampleResult(
+        config=cfg, seconds=1.5, freq_ghz=2.6, compute_seconds=1.4,
+        memory_seconds=0.2, llc_misses=1e6, package_j=120.0, pp0_j=90.0,
+        dram_j=20.0,
+    )
+
+
+class TestSampleResult:
+    def test_total_energy(self, sample):
+        assert sample.total_j == pytest.approx(140.0)
+
+    def test_dict_roundtrip(self, sample):
+        back = SampleResult.from_dict(sample.to_dict())
+        assert back == sample
+
+    def test_ondemand_roundtrip(self):
+        cfg = SampleConfig("rm", 12, "ondemand", "16d")
+        r = SampleResult(cfg, 1, 3.0, 1, 0, 0, 1, 1, 1)
+        assert SampleResult.from_dict(r.to_dict()).config.frequency == "ondemand"
+
+
+class TestResultSet:
+    def test_add_get(self, sample):
+        rs = ResultSet([sample])
+        assert rs.get(sample.config) == sample
+        assert sample.config in rs
+        assert len(rs) == 1
+
+    def test_duplicate_rejected(self, sample):
+        rs = ResultSet([sample])
+        with pytest.raises(ExperimentError):
+            rs.add(sample)
+
+    def test_missing_rejected(self, sample):
+        rs = ResultSet()
+        with pytest.raises(ExperimentError):
+            rs.get(sample.config)
+
+    def test_filter(self):
+        runner = ExperimentRunner()
+        cfgs = [SampleConfig(s, 10, 2.6, "1s") for s in ("rm", "mo", "ho")]
+        rs = runner.run_grid(cfgs)
+        assert len(rs.filter(scheme="mo")) == 1
+        assert len(rs.filter(size_exp=10)) == 3
+        assert rs.filter(scheme="zz") == []
+
+    def test_json_roundtrip(self, sample, tmp_path):
+        rs = ResultSet([sample])
+        path = tmp_path / "results.json"
+        rs.to_json(path)
+        back = ResultSet.from_json(path)
+        assert back.get(sample.config) == sample
+
+    def test_csv_write(self, sample, tmp_path):
+        path = tmp_path / "results.csv"
+        ResultSet([sample]).to_csv(path)
+        text = path.read_text()
+        assert "config_scheme" in text.splitlines()[0]
+        assert "mo" in text
+
+    def test_csv_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        ResultSet().to_csv(path)
+        assert path.read_text() == ""

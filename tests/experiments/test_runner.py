@@ -1,0 +1,58 @@
+"""Experiment runner: caching, speedups, grid sweeps."""
+
+import pytest
+
+from repro.experiments import ExperimentRunner, SampleConfig, full_grid
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+class TestRun:
+    def test_result_fields(self, runner):
+        r = runner.run(SampleConfig("mo", 11, 1.8, "8d"))
+        assert r.seconds > 0
+        assert r.freq_ghz == 1.8
+        assert r.package_j > r.pp0_j > 0
+        assert r.llc_misses > 0
+
+    def test_cache_returns_same_object(self, runner):
+        cfg = SampleConfig("rm", 10, 2.6, "4s")
+        assert runner.run(cfg) is runner.run(cfg)
+
+    def test_ondemand_resolves_turbo(self, runner):
+        r = runner.run(SampleConfig("rm", 10, "ondemand", "1s"))
+        assert r.freq_ghz > 2.6
+
+
+class TestSpeedup:
+    def test_baseline_is_one(self, runner):
+        assert runner.speedup(SampleConfig("rm", 10, 2.6, "1s")) == pytest.approx(1.0)
+
+    def test_in_cache_near_linear(self, runner):
+        s = runner.speedup(SampleConfig("rm", 10, 2.6, "8s"))
+        assert 6.5 <= s <= 8.5
+
+    def test_memory_bound_sublinear(self, runner):
+        # Fig 4 size 12: RM speedup collapses well below linear.
+        s = runner.speedup(SampleConfig("rm", 12, 2.6, "16d"))
+        assert s < 10
+
+    def test_ho_scales_nearly_linearly(self, runner):
+        # Fig 4: HO's extra computation "parallelizes trivially".
+        s = runner.speedup(SampleConfig("ho", 12, 2.6, "16d"))
+        assert s > 14
+
+
+class TestGridSweep:
+    def test_full_grid_completes(self):
+        rs = ExperimentRunner().run_grid()
+        assert len(rs) == 216
+        assert all(r.seconds > 0 for r in rs)
+
+    def test_partial_grid(self, runner):
+        cfgs = full_grid()[:10]
+        rs = runner.run_grid(cfgs)
+        assert len(rs) == 10

@@ -1,0 +1,45 @@
+"""Strong-scaling study."""
+
+import pytest
+
+from repro.experiments import ExperimentRunner, render_scaling_table, scaling_table
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return scaling_table(ExperimentRunner())
+
+
+class TestScalingTable:
+    def test_covers_full_grid(self, rows):
+        assert len(rows) == 3 * 3 * 6
+
+    def test_baseline_efficiency_one(self, rows):
+        for r in rows:
+            if r.thread_config == "1s":
+                assert r.efficiency == pytest.approx(1.0)
+
+    def test_in_cache_high_efficiency(self, rows):
+        for r in rows:
+            if r.size_exp == 10 and r.sockets == 1:
+                assert r.efficiency > 0.85
+
+    def test_rm_efficiency_collapses_out_of_cache(self, rows):
+        by = {(r.scheme, r.size_exp, r.thread_config): r for r in rows}
+        assert by[("rm", 12, "16d")].efficiency < 0.55
+        assert by[("ho", 12, "16d")].efficiency > 0.85
+
+    def test_ho_efficiency_always_at_least_rm(self, rows):
+        by = {(r.scheme, r.size_exp, r.thread_config): r for r in rows}
+        for size in (11, 12):
+            for tc in ("8s", "8d", "16d"):
+                assert (
+                    by[("ho", size, tc)].efficiency
+                    >= by[("rm", size, tc)].efficiency
+                )
+
+    def test_render(self, rows):
+        text = render_scaling_table(rows)
+        assert "RM size 10" in text
+        assert "eff" in text
+        assert text.count("size") == 9

@@ -1,0 +1,45 @@
+"""Model-sensitivity sweep: conclusions must not hinge on parameter guesses."""
+
+import pytest
+
+from repro.experiments import render_sensitivity, sensitivity_sweep
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sensitivity_sweep()
+
+
+class TestSensitivity:
+    def test_grid_size(self, points):
+        assert len(points) == 4 * 5
+
+    def test_all_findings_hold(self, points):
+        breaking = [p for p in points if not p.findings_hold]
+        assert not breaking, render_sensitivity(breaking)
+
+    def test_bandwidth_moves_mo_advantage(self, points):
+        # More bandwidth helps RM (it is the bandwidth-bound scheme), so
+        # the MO/RM ratio must rise monotonically with bandwidth scale.
+        bw = sorted(
+            (p.scale, p.mo_over_rm_size12)
+            for p in points
+            if p.parameter == "bandwidth"
+        )
+        ratios = [r for _, r in bw]
+        assert ratios == sorted(ratios)
+
+    def test_ho_ratio_stable(self, points):
+        # HO/MO is compute-dominated: perturbing memory parameters barely
+        # moves it.
+        ratios = [p.ho_over_mo_1thread for p in points]
+        assert max(ratios) - min(ratios) < 1.0
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            sensitivity_sweep(parameters=("cache_color",))
+
+    def test_render(self, points):
+        text = render_sensitivity(points)
+        assert "bandwidth" in text
+        assert "hold" in text

@@ -1,0 +1,79 @@
+"""Cachegrind study, ATLAS comparison, and shape validation."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    CLAIM_NAMES,
+    ExperimentRunner,
+    run_atlas_comparison,
+    run_cachegrind_study,
+    validate_all,
+)
+
+
+class TestCachegrindStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_cachegrind_study(schemes=("rm", "mo", "ho"))
+
+    def test_five_middle_rows(self, study):
+        assert len(study.rows) == 5
+        assert abs(study.rows[2] - study.n // 2) <= 1
+
+    def test_ho_at_most_mo(self, study):
+        # Section IV-A: HO's LL read misses land at or below MO's.  Our
+        # idealized LRU shows a larger Hilbert advantage than the paper's
+        # 0.984 (see EXPERIMENTS.md); the direction is the claim.
+        assert study.ho_over_mo <= 1.02
+
+    def test_both_curves_far_below_rm(self, study):
+        rm = study.ll_read_misses("rm")
+        assert study.ll_read_misses("mo") < rm / 2
+        assert study.ll_read_misses("ho") < rm / 2
+
+    def test_summary_mentions_ratio(self, study):
+        assert "HO / MO ratio" in study.summary()
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_cachegrind_study(n_rows=0)
+
+
+class TestAtlasComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_atlas_comparison(side=128, candidates=(16, 32))
+
+    def test_tiled_faster(self, result):
+        # Section IV-B: the tuned library outperforms the naive kernels
+        # (by an order of magnitude on the paper's platform).
+        assert result.speedup > 2.0
+
+    def test_tuning_cost_recorded(self, result):
+        assert result.tuning_seconds > 0
+        assert result.best_tile in (16, 32)
+
+    def test_summary(self, result):
+        assert "speedup" in result.summary()
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_atlas_comparison(side=8, candidates=(16,))
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def claims(self):
+        return validate_all(ExperimentRunner())
+
+    def test_all_claims_evaluated(self, claims):
+        assert tuple(c.name for c in claims) == CLAIM_NAMES
+        assert len(claims) == 8
+
+    def test_every_shape_claim_holds(self, claims):
+        failing = [c for c in claims if not c.holds]
+        assert not failing, "\n".join(f"{c.name}: {c.detail}" for c in failing)
+
+    def test_details_nonempty(self, claims):
+        assert all(c.detail for c in claims)

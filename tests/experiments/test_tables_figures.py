@@ -1,0 +1,119 @@
+"""Table IV and Figure 4/5/6 generators."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    fig4_speedup,
+    fig5_frequency_speedup,
+    fig6_energy_time,
+    render_series,
+    render_table4,
+    table4_data,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+class TestTable4:
+    def test_structure(self, runner):
+        data = table4_data(runner)
+        assert set(data) == {"rm", "mo", "ho"}
+        assert set(data["rm"]) == {10, 11, 12}
+        assert set(data["rm"][10]) == {"1.2", "1.8", "2.6", "od"}
+        assert set(data["rm"][10]["1.2"]) == {"1s", "4s", "8s", "2d", "8d", "16d"}
+
+    def test_times_decrease_with_threads_in_cache(self, runner):
+        row = table4_data(runner)["rm"][10]["2.6"]
+        assert row["1s"] > row["4s"] > row["8s"]
+        assert row["2d"] > row["8d"] > row["16d"]
+
+    def test_times_decrease_with_frequency(self, runner):
+        data = table4_data(runner)["mo"][11]
+        assert data["1.2"]["1s"] > data["1.8"]["1s"] > data["2.6"]["1s"] >= data["od"]["1s"]
+
+    def test_render_contains_all_blocks(self, runner):
+        text = render_table4(runner)
+        for token in ("RM", "MO", "HO", "Single Socket", "Dual Socket", "od"):
+            assert token in text
+        # 3 schemes x 3 sizes x 4 frequencies data rows.
+        data_rows = [l for l in text.splitlines() if l.strip() and l.strip()[0].isdigit()]
+        assert len(data_rows) == 36
+
+
+class TestFig4:
+    def test_panels_and_series(self, runner):
+        panels = fig4_speedup(runner)
+        assert set(panels) == {10, 11, 12}
+        for size, series in panels.items():
+            assert [s.label for s in series] == ["RM", "HO", "MO"]
+            for s in series:
+                assert s.x == [2, 8, 16]
+
+    def test_in_cache_all_schemes_scale(self, runner):
+        for s in fig4_speedup(runner)[10]:
+            assert s.y[-1] > 10  # near-linear at 16 threads
+
+    def test_size12_rm_collapses_ho_scales(self, runner):
+        series = {s.label: s for s in fig4_speedup(runner)[12]}
+        assert series["RM"].y[-1] < 10
+        assert series["HO"].y[-1] > 14
+        # HO scales better than RM out of cache (Fig 4's main contrast).
+        assert series["HO"].y[-1] > series["RM"].y[-1]
+
+
+class TestFig5:
+    def test_structure(self, runner):
+        panels = fig5_frequency_speedup(runner)
+        for size, series in panels.items():
+            assert [s.label for s in series] == ["1200MHz", "1800MHz", "2600MHz"]
+
+    def test_in_cache_frequency_independent_speedup(self, runner):
+        # Size 10: speedup curves coincide regardless of frequency.
+        series = fig5_frequency_speedup(runner)[10]
+        finals = [s.y[-1] for s in series]
+        assert max(finals) - min(finals) < 1.0
+
+    def test_memory_bound_lower_freq_scales_better(self, runner):
+        # Size 12: at lower clock the memory wall sits further away, so
+        # parallel speedup is (weakly) better.
+        series = {s.label: s for s in fig5_frequency_speedup(runner)[12]}
+        assert series["1200MHz"].y[-1] >= series["2600MHz"].y[-1]
+
+
+class TestFig6:
+    def test_panels(self, runner):
+        panels = fig6_energy_time(runner)
+        assert set(panels) == {(tc, sz) for tc in ("8s", "8d") for sz in (10, 11, 12)}
+
+    def test_series_layout(self, runner):
+        series = fig6_energy_time(runner)[("8s", 11)]
+        labels = [s.label for s in series]
+        assert labels == [
+            "RM - Packages", "RM - Power Planes", "RM - DRAM",
+            "MO - Packages", "MO - Power Planes", "MO - DRAM",
+        ]
+        for s in series:
+            assert len(s.x) == 4  # one point per frequency setting
+
+    def test_pp0_below_package_energy(self, runner):
+        series = {s.label: s for s in fig6_energy_time(runner)[("8s", 12)]}
+        for scheme in ("RM", "MO"):
+            pkg = series[f"{scheme} - Packages"].x
+            pp0 = series[f"{scheme} - Power Planes"].x
+            assert all(p < q for p, q in zip(pp0, pkg))
+
+    def test_dram_energy_smallest(self, runner):
+        series = {s.label: s for s in fig6_energy_time(runner)[("8d", 12)]}
+        dram = series["RM - DRAM"].x
+        pp0 = series["RM - Power Planes"].x
+        assert all(d < p for d, p in zip(dram, pp0))
+
+    def test_render(self, runner):
+        series = fig6_energy_time(runner)[("8s", 10)]
+        text = render_series(series, "Fig 6 a)", "Energy [J]", "Time [s]")
+        assert "Fig 6 a)" in text
+        assert "RM - Packages" in text

@@ -1,0 +1,71 @@
+"""Recursive Cholesky over curve layouts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import cholesky, random_spd
+from repro.layout import CurveMatrix
+
+
+class TestCholesky:
+    @pytest.mark.parametrize("layout", ["rm", "mo", "ho"])
+    @pytest.mark.parametrize("leaf", [2, 8, 32])
+    def test_factor_reconstructs(self, layout, leaf):
+        a = random_spd(32, layout, seed=91)
+        l = cholesky(a, leaf=leaf)
+        ld = l.to_dense()
+        np.testing.assert_allclose(ld @ ld.T, a.to_dense(), rtol=1e-9, atol=1e-9)
+
+    def test_matches_numpy(self):
+        a = random_spd(16, "mo", seed=92)
+        l = cholesky(a, leaf=4)
+        np.testing.assert_allclose(
+            l.to_dense(), np.linalg.cholesky(a.to_dense()), rtol=1e-9
+        )
+
+    def test_lower_triangular(self):
+        a = random_spd(16, "ho", seed=93)
+        ld = cholesky(a, leaf=4).to_dense()
+        np.testing.assert_allclose(ld, np.tril(ld))
+
+    def test_input_unmodified(self):
+        a = random_spd(8, "mo", seed=94)
+        before = a.data.copy()
+        cholesky(a, leaf=2)
+        np.testing.assert_array_equal(a.data, before)
+
+    def test_identity(self):
+        eye = CurveMatrix.from_dense(np.eye(8), "mo")
+        np.testing.assert_allclose(
+            cholesky(eye, leaf=2).to_dense(), np.eye(8), atol=1e-12
+        )
+
+    def test_not_spd_raises(self):
+        bad = CurveMatrix.from_dense(-np.eye(8), "mo")
+        with pytest.raises(np.linalg.LinAlgError):
+            cholesky(bad, leaf=2)
+
+    def test_rejects_non_pow2(self):
+        a = CurveMatrix.from_dense(np.eye(6), "rm")
+        with pytest.raises(KernelError):
+            cholesky(a)
+
+    def test_out_layout(self):
+        a = random_spd(16, "mo", seed=95)
+        l = cholesky(a, leaf=4, out_curve="rm")
+        assert l.curve.code == "rm"
+        ld = l.to_dense()
+        np.testing.assert_allclose(ld @ ld.T, a.to_dense(), rtol=1e-9)
+
+
+class TestRandomSpd:
+    def test_is_spd(self):
+        a = random_spd(16, "rm", seed=96).to_dense()
+        np.testing.assert_allclose(a, a.T)
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+
+    def test_reproducible(self):
+        a = random_spd(8, "mo", seed=97)
+        b = random_spd(8, "mo", seed=97)
+        np.testing.assert_array_equal(a.data, b.data)

@@ -1,0 +1,98 @@
+"""Incremental Morton kernel and transposition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import (
+    morton_matmul_incremental,
+    morton_transpose_permutation,
+    naive_matmul,
+    random_pair,
+    reference_matmul,
+    transpose,
+)
+from repro.layout import CurveMatrix
+
+
+class TestIncrementalKernel:
+    @pytest.mark.parametrize("side", [4, 16, 32])
+    def test_matches_reference(self, side):
+        a, b = random_pair(side, "mo", seed=61)
+        got = morton_matmul_incremental(a, b)
+        assert got.curve.code == "mo"
+        np.testing.assert_allclose(got.to_dense(), reference_matmul(a, b), rtol=1e-12)
+
+    def test_matches_naive(self):
+        a, b = random_pair(16, "mo", seed=62)
+        inc = morton_matmul_incremental(a, b)
+        nai = naive_matmul(a, b)
+        np.testing.assert_array_equal(inc.data, nai.data)
+
+    def test_requires_morton(self):
+        a, b = random_pair(8, "rm", seed=0)
+        with pytest.raises(KernelError):
+            morton_matmul_incremental(a, b)
+
+
+class TestMortonTransposePermutation:
+    @pytest.mark.parametrize("n", [2, 4, 16, 64])
+    def test_is_involution(self, n):
+        g = morton_transpose_permutation(n)
+        np.testing.assert_array_equal(g[g], np.arange(n * n, dtype=np.uint64))
+
+    def test_matches_coordinate_swap(self):
+        from repro.curves import MortonCurve
+
+        n = 16
+        c = MortonCurve(n)
+        g = morton_transpose_permutation(n)
+        d = np.arange(n * n, dtype=np.uint64)
+        y, x = c.decode(d)
+        np.testing.assert_array_equal(g, c.encode(x, y))
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("layout", ["rm", "cm", "mo", "ho"])
+    def test_matches_dense_transpose(self, layout):
+        rng = np.random.default_rng(63)
+        dense = rng.random((16, 16))
+        m = CurveMatrix.from_dense(dense, layout)
+        t = transpose(m)
+        assert t.curve == m.curve
+        np.testing.assert_array_equal(t.to_dense(), dense.T)
+
+    def test_cross_layout(self):
+        rng = np.random.default_rng(64)
+        dense = rng.random((8, 8))
+        m = CurveMatrix.from_dense(dense, "ho")
+        t = transpose(m, out_curve="mo")
+        assert t.curve.code == "mo"
+        np.testing.assert_array_equal(t.to_dense(), dense.T)
+
+    def test_double_transpose_identity(self):
+        m = CurveMatrix.random(32, "mo", rng=np.random.default_rng(65))
+        np.testing.assert_array_equal(transpose(transpose(m)).data, m.data)
+
+    def test_morton_fast_path_equals_generic(self):
+        rng = np.random.default_rng(66)
+        dense = rng.random((32, 32))
+        mo = CurveMatrix.from_dense(dense, "mo")
+        rm = CurveMatrix.from_dense(dense, "rm")
+        np.testing.assert_array_equal(
+            transpose(mo).to_dense(), transpose(rm).to_dense()
+        )
+
+    def test_out_curve_side_mismatch(self):
+        from repro.curves import get_curve
+
+        m = CurveMatrix.zeros(8, "mo")
+        with pytest.raises(KernelError):
+            transpose(m, out_curve=get_curve("mo", 16))
+
+    def test_symmetric_matrix_fixed_point(self):
+        rng = np.random.default_rng(67)
+        s = rng.random((16, 16))
+        sym = s + s.T
+        m = CurveMatrix.from_dense(sym, "mo")
+        np.testing.assert_allclose(transpose(m).to_dense(), sym)

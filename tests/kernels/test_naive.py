@@ -1,0 +1,99 @@
+"""Naive kernel correctness across layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.kernels import (
+    naive_matmul,
+    naive_matmul_scalar,
+    random_pair,
+    reference_matmul,
+)
+from repro.layout import CurveMatrix
+
+SCHEMES = ["rm", "cm", "mo", "ho"]
+
+
+class TestNaiveMatmul:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_matches_reference_same_layout(self, scheme):
+        a, b = random_pair(16, scheme, seed=11)
+        got = naive_matmul(a, b)
+        assert got.curve == a.curve
+        np.testing.assert_allclose(got.to_dense(), reference_matmul(a, b), rtol=1e-12)
+
+    @pytest.mark.parametrize("sa,sb,sc", [("mo", "ho", "rm"), ("rm", "mo", "ho"), ("ho", "rm", "mo")])
+    def test_mixed_layouts(self, sa, sb, sc):
+        a, b = random_pair(8, sa, sb, seed=12)
+        got = naive_matmul(a, b, out_curve=sc)
+        assert got.curve.code == sc
+        np.testing.assert_allclose(got.to_dense(), reference_matmul(a, b), rtol=1e-12)
+
+    def test_identity(self):
+        eye = CurveMatrix.from_dense(np.eye(8), "mo")
+        m = CurveMatrix.random(8, "mo", rng=np.random.default_rng(1))
+        np.testing.assert_allclose(
+            naive_matmul(eye, m).to_dense(), m.to_dense(), rtol=1e-12
+        )
+
+    def test_zero(self):
+        z = CurveMatrix.zeros(8, "ho")
+        m = CurveMatrix.random(8, "ho", rng=np.random.default_rng(2))
+        assert not naive_matmul(z, m).data.any()
+
+    def test_side_mismatch(self):
+        a = CurveMatrix.zeros(8, "rm")
+        b = CurveMatrix.zeros(16, "rm")
+        with pytest.raises(KernelError):
+            naive_matmul(a, b)
+
+    def test_out_curve_side_mismatch(self):
+        from repro.curves import get_curve
+
+        a, b = random_pair(8, "rm", seed=0)
+        with pytest.raises(KernelError):
+            naive_matmul(a, b, out_curve=get_curve("rm", 16))
+
+    def test_dtype_override(self):
+        a, b = random_pair(8, "rm", seed=0, dtype=np.float32)
+        out = naive_matmul(a, b, dtype=np.float64)
+        assert out.dtype == np.float64
+
+    def test_rejects_plain_arrays(self):
+        with pytest.raises(KernelError):
+            naive_matmul(np.zeros((4, 4)), np.zeros((4, 4)))
+
+
+class TestScalarKernel:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_matches_vectorized(self, scheme):
+        a, b = random_pair(8, scheme, seed=21)
+        s = naive_matmul_scalar(a, b)
+        v = naive_matmul(a, b)
+        np.testing.assert_allclose(s.to_dense(), v.to_dense(), rtol=1e-12)
+
+    def test_size_guard(self):
+        a, b = random_pair(128, "rm", seed=0)
+        with pytest.raises(KernelError):
+            naive_matmul_scalar(a, b)
+
+    def test_size_guard_override(self):
+        a, b = random_pair(8, "rm", seed=0)
+        out = naive_matmul_scalar(a, b, max_side=8)
+        np.testing.assert_allclose(out.to_dense(), reference_matmul(a, b), rtol=1e-12)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    order=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10**6),
+    scheme=st.sampled_from(SCHEMES),
+)
+def test_naive_random_property(order, seed, scheme):
+    a, b = random_pair(1 << order, scheme, seed=seed)
+    np.testing.assert_allclose(
+        naive_matmul(a, b).to_dense(), reference_matmul(a, b), rtol=1e-10
+    )

@@ -1,0 +1,62 @@
+"""Kernel operation-count formulas."""
+
+import pytest
+
+from repro.kernels import naive_opcount, recursive_opcount, tiled_opcount
+
+
+class TestNaiveOpcount:
+    def test_flops(self):
+        assert naive_opcount(64, "rm").flops == 2 * 64**3
+
+    def test_loads_stores(self):
+        c = naive_opcount(16, "rm")
+        assert c.loads == 2 * 16**3 + 16**2
+        assert c.stores == 16**2
+
+    @pytest.mark.parametrize("n", [64, 128, 256])
+    def test_scheme_ordering(self, n):
+        rm = naive_opcount(n, "rm").index_ops
+        mo = naive_opcount(n, "mo").index_ops
+        ho = naive_opcount(n, "ho").index_ops
+        assert rm < mo < ho
+
+    def test_ho_overhead_grows_with_size(self):
+        # Hilbert's per-index cost is linear in bits, so the HO/MO ratio
+        # grows with problem size — the effect behind Table IV.
+        r1 = naive_opcount(2**10, "ho").index_ops / naive_opcount(2**10, "mo").index_ops
+        r2 = naive_opcount(2**12, "ho").index_ops / naive_opcount(2**12, "mo").index_ops
+        assert r2 > r1
+
+    def test_mixed_schemes(self):
+        c = naive_opcount(16, "rm", "mo", "ho")
+        # Inner loop pays rm + mo per iteration; outer pays ho per element.
+        pure_rm = naive_opcount(16, "rm", "rm", "rm")
+        assert c.index_ops > pure_rm.index_ops
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            naive_opcount(1, "rm")
+
+
+class TestBlockedOpcounts:
+    def test_recursive_flops_unchanged(self):
+        assert recursive_opcount(64, 16).flops == 2 * 64**3
+
+    def test_recursive_index_work_much_smaller_than_naive(self):
+        n = 256
+        rec = recursive_opcount(n, 64, "mo").index_ops
+        nai = naive_opcount(n, "mo").index_ops
+        assert rec < nai / 20
+
+    def test_larger_leaf_fewer_loads(self):
+        small = recursive_opcount(256, 16).loads
+        large = recursive_opcount(256, 64).loads
+        assert large < small
+
+    def test_tiled_equals_recursive_with_tile(self):
+        assert tiled_opcount(128, 32, "rm") == recursive_opcount(128, 32, "rm")
+
+    def test_tiled_rejects_non_dividing(self):
+        with pytest.raises(ValueError):
+            tiled_opcount(100, 33)

@@ -1,0 +1,48 @@
+"""Peano block kernel (related-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import peano_block_schedule, peano_matmul, random_pair, reference_matmul
+from repro.layout import CurveMatrix
+
+
+class TestSchedule:
+    def test_covers_all_triples(self):
+        sched = peano_block_schedule()
+        assert len(sched) == 27
+        assert len(set(sched)) == 27
+
+    def test_block_reuse(self):
+        # Consecutive steps must share at least one operand block: either
+        # (i,k) for A, (k,j) for B, or (i,j) for C.
+        sched = peano_block_schedule()
+        for (i0, j0, k0), (i1, j1, k1) in zip(sched, sched[1:]):
+            shares_a = (i0, k0) == (i1, k1)
+            shares_b = (k0, j0) == (k1, j1)
+            shares_c = (i0, j0) == (i1, j1)
+            assert shares_a or shares_b or shares_c
+
+
+class TestPeanoMatmul:
+    @pytest.mark.parametrize("leaf", [1, 3, 9, 27])
+    def test_matches_reference(self, leaf):
+        a, b = random_pair(27, "po", seed=51)
+        got = peano_matmul(a, b, leaf=leaf)
+        np.testing.assert_allclose(got.to_dense(), reference_matmul(a, b), rtol=1e-12)
+
+    def test_rowmajor_operands_also_work(self):
+        a, b = random_pair(9, "rm", seed=52)
+        got = peano_matmul(a, b, leaf=3)
+        np.testing.assert_allclose(got.to_dense(), reference_matmul(a, b), rtol=1e-12)
+
+    def test_rejects_non_pow3(self):
+        a, b = random_pair(8, "rm", seed=0)
+        with pytest.raises(KernelError):
+            peano_matmul(a, b)
+
+    def test_rejects_bad_leaf(self):
+        a, b = random_pair(9, "po", seed=0)
+        with pytest.raises(KernelError):
+            peano_matmul(a, b, leaf=0)

@@ -1,0 +1,78 @@
+"""Recursive and tiled kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import (
+    autotune_tile,
+    random_pair,
+    recursive_matmul,
+    reference_matmul,
+    tiled_matmul,
+)
+from repro.layout import CurveMatrix
+
+
+class TestRecursive:
+    @pytest.mark.parametrize("scheme", ["rm", "mo", "ho"])
+    @pytest.mark.parametrize("leaf", [1, 4, 16, 64])
+    def test_matches_reference(self, scheme, leaf):
+        a, b = random_pair(32, scheme, seed=31)
+        got = recursive_matmul(a, b, leaf=leaf)
+        np.testing.assert_allclose(got.to_dense(), reference_matmul(a, b), rtol=1e-12)
+
+    def test_leaf_larger_than_side(self):
+        a, b = random_pair(8, "mo", seed=32)
+        got = recursive_matmul(a, b, leaf=64)
+        np.testing.assert_allclose(got.to_dense(), reference_matmul(a, b), rtol=1e-12)
+
+    def test_out_layout(self):
+        a, b = random_pair(16, "mo", seed=33)
+        got = recursive_matmul(a, b, out_curve="ho", leaf=4)
+        assert got.curve.code == "ho"
+        np.testing.assert_allclose(got.to_dense(), reference_matmul(a, b), rtol=1e-12)
+
+    def test_rejects_non_pow2_leaf(self):
+        a, b = random_pair(16, "mo", seed=0)
+        with pytest.raises(KernelError):
+            recursive_matmul(a, b, leaf=3)
+
+    def test_rejects_non_pow2_side(self):
+        a = CurveMatrix.random(7, "rm", rng=np.random.default_rng(0))
+        with pytest.raises(KernelError):
+            recursive_matmul(a, a)
+
+
+class TestTiled:
+    @pytest.mark.parametrize("tile", [4, 8, 16, 32])
+    def test_matches_reference(self, tile):
+        a, b = random_pair(32, "rm", seed=41)
+        got = tiled_matmul(a, b, tile=tile)
+        np.testing.assert_allclose(got.to_dense(), reference_matmul(a, b), rtol=1e-12)
+
+    def test_curve_layout_operands(self):
+        a, b = random_pair(16, "mo", seed=42)
+        got = tiled_matmul(a, b, tile=8)
+        np.testing.assert_allclose(got.to_dense(), reference_matmul(a, b), rtol=1e-12)
+
+    def test_tile_must_divide(self):
+        a, b = random_pair(16, "rm", seed=0)
+        with pytest.raises(KernelError):
+            tiled_matmul(a, b, tile=5)
+
+
+class TestAutotune:
+    def test_returns_candidate(self):
+        result = autotune_tile(side=64, candidates=(8, 16, 32), repeats=1)
+        assert result.best_tile in (8, 16, 32)
+        assert set(result.timings) == {8, 16, 32}
+        assert result.tuning_seconds > 0
+
+    def test_skips_non_dividing_candidates(self):
+        result = autotune_tile(side=64, candidates=(7, 16), repeats=1)
+        assert list(result.timings) == [16]
+
+    def test_no_usable_candidates(self):
+        with pytest.raises(KernelError):
+            autotune_tile(side=64, candidates=(7, 9))

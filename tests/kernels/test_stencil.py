@@ -1,0 +1,89 @@
+"""Five-point stencil over curve layouts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import jacobi_step, neighbor_tables
+from repro.layout import CurveMatrix
+
+
+def dense_jacobi(dense, cw, nw, boundary):
+    n = dense.shape[0]
+    out = cw * dense.copy()
+    if boundary == "periodic":
+        out += nw * (
+            np.roll(dense, 1, 0) + np.roll(dense, -1, 0)
+            + np.roll(dense, 1, 1) + np.roll(dense, -1, 1)
+        )
+    else:
+        padded = np.pad(dense, 1)
+        out += nw * (
+            padded[:-2, 1:-1] + padded[2:, 1:-1]
+            + padded[1:-1, :-2] + padded[1:-1, 2:]
+        )
+    return out
+
+
+class TestJacobiStep:
+    @pytest.mark.parametrize("layout", ["rm", "mo", "ho"])
+    @pytest.mark.parametrize("boundary", ["zero", "periodic"])
+    def test_matches_dense(self, layout, boundary):
+        rng = np.random.default_rng(71)
+        dense = rng.random((16, 16))
+        m = CurveMatrix.from_dense(dense, layout)
+        out = jacobi_step(m, 0.5, 0.125, boundary=boundary)
+        want = dense_jacobi(dense, 0.5, 0.125, boundary)
+        np.testing.assert_allclose(out.to_dense(), want, rtol=1e-12)
+
+    def test_layouts_agree(self):
+        rng = np.random.default_rng(72)
+        dense = rng.random((32, 32))
+        outs = [
+            jacobi_step(CurveMatrix.from_dense(dense, l)).to_dense()
+            for l in ("rm", "mo", "ho")
+        ]
+        np.testing.assert_allclose(outs[0], outs[1], rtol=1e-12)
+        np.testing.assert_allclose(outs[0], outs[2], rtol=1e-12)
+
+    def test_constant_field_is_fixed_point_periodic(self):
+        m = CurveMatrix.from_dense(np.full((8, 8), 3.0), "mo")
+        out = jacobi_step(m, 0.0, 0.25, boundary="periodic")
+        np.testing.assert_allclose(out.to_dense(), 3.0)
+
+    def test_repeated_steps_smooth(self):
+        rng = np.random.default_rng(73)
+        m = CurveMatrix.from_dense(rng.random((16, 16)), "mo")
+        for _ in range(50):
+            m = jacobi_step(m, 0.0, 0.25, boundary="periodic")
+        field = m.to_dense()
+        # Diffusion with conservative weights converges toward the mean.
+        assert field.std() < 0.05
+
+    def test_invalid_boundary(self):
+        m = CurveMatrix.zeros(8, "mo")
+        with pytest.raises(KernelError):
+            jacobi_step(m, boundary="reflect")
+
+
+class TestNeighborTables:
+    def test_cached(self):
+        m = CurveMatrix.zeros(8, "mo")
+        t1 = neighbor_tables(m.curve)
+        t2 = neighbor_tables(m.curve)
+        assert t1 is t2
+
+    def test_periodic_wraps(self):
+        m = CurveMatrix.zeros(4, "rm")
+        _, north, _, _, _, _ = neighbor_tables(m.curve, "periodic")
+        # North of (0, 0) wraps to (3, 0) = offset 12 in row-major.
+        assert north[0] == 12
+
+    def test_zero_boundary_masks_edges(self):
+        m = CurveMatrix.zeros(4, "rm")
+        *_, masks = neighbor_tables(m.curve, "zero")
+        vn, vs, vw, ve = masks
+        assert not vn[0]       # (0,0) has no north
+        assert not vw[0]       # ... nor west
+        assert vs[0] and ve[0]
+        assert int((~vn).sum()) == 4  # whole top row

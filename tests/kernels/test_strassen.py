@@ -1,0 +1,67 @@
+"""Strassen multiplication over curve layouts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels import (
+    random_pair,
+    reference_matmul,
+    strassen_matmul,
+    strassen_multiplication_count,
+)
+from repro.layout import CurveMatrix
+
+
+class TestStrassen:
+    @pytest.mark.parametrize("layout", ["rm", "mo", "ho"])
+    @pytest.mark.parametrize("leaf", [4, 16, 64])
+    def test_matches_reference(self, layout, leaf):
+        a, b = random_pair(64, layout, seed=81)
+        got = strassen_matmul(a, b, leaf=leaf)
+        np.testing.assert_allclose(
+            got.to_dense(), reference_matmul(a, b), rtol=1e-10
+        )
+
+    def test_out_layout(self):
+        a, b = random_pair(32, "mo", seed=82)
+        got = strassen_matmul(a, b, out_curve="ho", leaf=8)
+        assert got.curve.code == "ho"
+        np.testing.assert_allclose(
+            got.to_dense(), reference_matmul(a, b), rtol=1e-10
+        )
+
+    def test_leaf_larger_than_side(self):
+        a, b = random_pair(8, "mo", seed=83)
+        got = strassen_matmul(a, b, leaf=64)
+        np.testing.assert_allclose(
+            got.to_dense(), reference_matmul(a, b), rtol=1e-12
+        )
+
+    def test_identity(self):
+        eye = CurveMatrix.from_dense(np.eye(16), "mo")
+        m = CurveMatrix.random(16, "mo", rng=np.random.default_rng(84))
+        np.testing.assert_allclose(
+            strassen_matmul(eye, m, leaf=4).to_dense(), m.to_dense(), rtol=1e-10
+        )
+
+    def test_rejects_non_pow2(self):
+        a = CurveMatrix.random(6, "rm", rng=np.random.default_rng(0))
+        with pytest.raises(KernelError):
+            strassen_matmul(a, a)
+
+    def test_rejects_bad_leaf(self):
+        a, b = random_pair(8, "rm", seed=0)
+        with pytest.raises(KernelError):
+            strassen_matmul(a, b, leaf=3)
+
+
+class TestMultiplicationCount:
+    def test_subcubic(self):
+        # 7^k leaf products instead of 8^k.
+        assert strassen_multiplication_count(64, 8) == 7**3
+        assert strassen_multiplication_count(64, 8) < (64 // 8) ** 3
+
+    def test_single_leaf(self):
+        assert strassen_multiplication_count(8, 8) == 1
+        assert strassen_multiplication_count(4, 8) == 1

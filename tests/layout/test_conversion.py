@@ -1,0 +1,74 @@
+"""Layout conversion and permutation caching."""
+
+import numpy as np
+import pytest
+
+from repro.curves import MortonCurve, get_curve
+from repro.errors import LayoutError
+from repro.layout import (
+    CurveMatrix,
+    clear_permutation_cache,
+    conversion_permutation,
+    curve_permutation,
+    relayout,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_permutation_cache()
+    yield
+    clear_permutation_cache()
+
+
+class TestPermutationCache:
+    def test_cached_instance_reused(self):
+        c = MortonCurve(16)
+        p1 = curve_permutation(c)
+        p2 = curve_permutation(MortonCurve(16))  # equal curve, same key
+        assert p1 is p2
+
+    def test_matches_uncached(self):
+        c = MortonCurve(8)
+        np.testing.assert_array_equal(curve_permutation(c), c.permutation())
+
+
+class TestConversionPermutation:
+    def test_identity(self):
+        c = MortonCurve(8)
+        g = conversion_permutation(c, c)
+        np.testing.assert_array_equal(g, np.arange(64, dtype=np.uint64))
+
+    def test_semantics(self):
+        src = get_curve("mo", 8)
+        dst = get_curve("ho", 8)
+        dense = np.arange(64.0).reshape(8, 8)
+        m_src = CurveMatrix.from_dense(dense, src)
+        g = conversion_permutation(src, dst)
+        m_dst = CurveMatrix(m_src.data[g], dst)
+        np.testing.assert_array_equal(m_dst.to_dense(), dense)
+
+    def test_side_mismatch(self):
+        with pytest.raises(LayoutError):
+            conversion_permutation(get_curve("mo", 8), get_curve("mo", 16))
+
+
+class TestRelayout:
+    @pytest.mark.parametrize("src,dst", [("rm", "mo"), ("mo", "ho"), ("ho", "rm"), ("rm", "brm")])
+    def test_preserves_values(self, src, dst):
+        dense = np.random.default_rng(0).random((16, 16))
+        m = CurveMatrix.from_dense(dense, src)
+        out = relayout(m, dst)
+        assert out.curve.code == dst
+        np.testing.assert_array_equal(out.to_dense(), dense)
+
+    def test_same_curve_returns_copy(self):
+        m = CurveMatrix.random(8, "mo", rng=np.random.default_rng(1))
+        out = relayout(m, "mo")
+        assert out is not m
+        np.testing.assert_array_equal(out.data, m.data)
+
+    def test_roundtrip(self):
+        m = CurveMatrix.random(32, "mo", rng=np.random.default_rng(2))
+        back = relayout(relayout(m, "ho"), "mo")
+        np.testing.assert_array_equal(back.data, m.data)

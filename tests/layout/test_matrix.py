@@ -1,0 +1,155 @@
+"""CurveMatrix storage semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves import HilbertCurve, MortonCurve, get_curve
+from repro.errors import LayoutError
+from repro.layout import CurveMatrix, pad_to_pow2
+
+
+@pytest.fixture
+def dense8():
+    return np.arange(64, dtype=np.float64).reshape(8, 8)
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, dense8):
+        for code in ("rm", "cm", "mo", "ho"):
+            m = CurveMatrix.from_dense(dense8, code)
+            np.testing.assert_array_equal(m.to_dense(), dense8)
+
+    def test_rm_layout_is_ravel(self, dense8):
+        m = CurveMatrix.from_dense(dense8, "rm")
+        np.testing.assert_array_equal(m.data, dense8.ravel())
+
+    def test_morton_buffer_order(self, dense8):
+        m = CurveMatrix.from_dense(dense8, "mo")
+        # Buffer position d holds the element at decode(d).
+        c = MortonCurve(8)
+        ys, xs = c.traversal()
+        np.testing.assert_array_equal(m.data, dense8[ys, xs])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(LayoutError):
+            CurveMatrix.from_dense(np.zeros((4, 8)), "rm")
+
+    def test_rejects_mismatched_curve(self, dense8):
+        with pytest.raises(LayoutError):
+            CurveMatrix.from_dense(dense8, get_curve("mo", 16))
+
+    def test_rejects_wrong_buffer_length(self):
+        with pytest.raises(LayoutError):
+            CurveMatrix(np.zeros(10), get_curve("rm", 4))
+
+    def test_rejects_2d_buffer(self):
+        with pytest.raises(LayoutError):
+            CurveMatrix(np.zeros((4, 4)), get_curve("rm", 4))
+
+    def test_zeros(self):
+        m = CurveMatrix.zeros(8, "mo")
+        assert m.side == 8 and m.dtype == np.float64
+        assert not m.data.any()
+
+    def test_random_reproducible(self):
+        a = CurveMatrix.random(8, "ho", rng=np.random.default_rng(5))
+        b = CurveMatrix.random(8, "ho", rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_buffer_shared_not_copied(self):
+        buf = np.zeros(16)
+        m = CurveMatrix(buf, get_curve("rm", 4))
+        m[0, 0] = 7.0
+        assert buf[0] == 7.0
+
+
+class TestAccess:
+    def test_scalar_get_set(self, dense8):
+        m = CurveMatrix.from_dense(dense8, "ho")
+        assert m[3, 5] == dense8[3, 5]
+        m[3, 5] = -1.0
+        assert m[3, 5] == -1.0
+
+    def test_fancy_get(self, dense8):
+        m = CurveMatrix.from_dense(dense8, "mo")
+        ys = np.array([0, 1, 7], dtype=np.uint64)
+        xs = np.array([0, 2, 7], dtype=np.uint64)
+        np.testing.assert_array_equal(m[ys, xs], dense8[ys, xs])
+
+    def test_row_col(self, dense8):
+        m = CurveMatrix.from_dense(dense8, "mo")
+        np.testing.assert_array_equal(m.row(3), dense8[3])
+        np.testing.assert_array_equal(m.col(5), dense8[:, 5])
+
+    def test_block_gather(self, dense8):
+        m = CurveMatrix.from_dense(dense8, "ho")
+        np.testing.assert_array_equal(m.block(2, 4, 2), dense8[2:4, 4:6])
+
+    def test_block_out_of_range(self, dense8):
+        m = CurveMatrix.from_dense(dense8, "rm")
+        with pytest.raises(LayoutError):
+            m.block(6, 6, 4)
+
+    def test_set_block(self, dense8):
+        m = CurveMatrix.from_dense(dense8, "mo")
+        patch = np.full((2, 2), -5.0)
+        m.set_block(4, 4, patch)
+        np.testing.assert_array_equal(m.to_dense()[4:6, 4:6], patch)
+
+    def test_set_block_rejects_non_square(self, dense8):
+        m = CurveMatrix.from_dense(dense8, "mo")
+        with pytest.raises(LayoutError):
+            m.set_block(0, 0, np.zeros((2, 3)))
+
+
+class TestEquality:
+    def test_same_layout(self, dense8):
+        a = CurveMatrix.from_dense(dense8, "mo")
+        b = CurveMatrix.from_dense(dense8, "mo")
+        assert a == b
+
+    def test_cross_layout(self, dense8):
+        a = CurveMatrix.from_dense(dense8, "mo")
+        b = CurveMatrix.from_dense(dense8, "ho")
+        assert a == b
+
+    def test_unhashable(self, dense8):
+        with pytest.raises(TypeError):
+            hash(CurveMatrix.from_dense(dense8, "rm"))
+
+    def test_copy_is_deep(self, dense8):
+        a = CurveMatrix.from_dense(dense8, "mo")
+        b = a.copy()
+        b[0, 0] = 99.0
+        assert a[0, 0] != 99.0
+
+
+class TestPadding:
+    def test_pads_to_next_pow2(self):
+        out = pad_to_pow2(np.ones((5, 3)))
+        assert out.shape == (8, 8)
+        assert out[:5, :3].all()
+        assert out[5:, :].sum() == 0 and out[:, 3:].sum() == 0
+
+    def test_noop_when_already_pow2(self):
+        arr = np.ones((8, 8))
+        assert pad_to_pow2(arr) is arr
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(LayoutError):
+            pad_to_pow2(np.zeros(8))
+
+    @settings(max_examples=20)
+    @given(
+        rows=st.integers(min_value=1, max_value=20),
+        cols=st.integers(min_value=1, max_value=20),
+    )
+    def test_product_preserved_on_original_block(self, rows, cols):
+        rng = np.random.default_rng(rows * 100 + cols)
+        a = rng.random((rows, rows))
+        pa = pad_to_pow2(a)
+        want = a @ a
+        got = (pa @ pa)[:rows, :rows]
+        np.testing.assert_allclose(got, want, rtol=1e-12)

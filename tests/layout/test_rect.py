@@ -1,0 +1,93 @@
+"""Rectangular matrices via transparent padding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.layout import PaddedCurveMatrix, rect_matmul
+
+
+class TestPaddedCurveMatrix:
+    def test_shape_and_padding(self):
+        m = PaddedCurveMatrix.from_dense(np.ones((5, 12)), "mo")
+        assert m.shape == (5, 12)
+        assert m.padded_side == 16
+        assert m.padding_overhead == pytest.approx(256 / 60)
+
+    def test_dense_roundtrip(self):
+        dense = np.random.default_rng(0).random((7, 11))
+        m = PaddedCurveMatrix.from_dense(dense, "ho")
+        np.testing.assert_array_equal(m.to_dense(), dense)
+
+    def test_element_access(self):
+        dense = np.random.default_rng(1).random((6, 9))
+        m = PaddedCurveMatrix.from_dense(dense, "mo")
+        assert m[5, 8] == dense[5, 8]
+        m[5, 8] = -2.0
+        assert m[5, 8] == -2.0
+
+    def test_out_of_logical_range_rejected(self):
+        m = PaddedCurveMatrix.from_dense(np.ones((5, 12)), "mo")
+        with pytest.raises(LayoutError):
+            m[5, 0]
+        with pytest.raises(LayoutError):
+            m[0, 12]
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(LayoutError):
+            PaddedCurveMatrix.from_dense(np.ones(5))
+
+    def test_exact_pow2_square_no_overhead(self):
+        m = PaddedCurveMatrix.from_dense(np.ones((16, 16)), "mo")
+        assert m.padding_overhead == 1.0
+
+
+class TestRectMatmul:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(2)
+        a = rng.random((5, 12))
+        b = rng.random((12, 9))
+        pa = PaddedCurveMatrix.from_dense(a, "mo")
+        pb = PaddedCurveMatrix.from_dense(b, "mo")
+        c = rect_matmul(pa, pb, leaf=8)
+        assert c.shape == (5, 9)
+        np.testing.assert_allclose(c.to_dense(), a @ b, rtol=1e-12)
+
+    def test_shape_mismatch(self):
+        pa = PaddedCurveMatrix.from_dense(np.ones((4, 6)), "mo")
+        pb = PaddedCurveMatrix.from_dense(np.ones((5, 4)), "mo")
+        with pytest.raises(LayoutError):
+            rect_matmul(pa, pb)
+
+    def test_padding_mismatch(self):
+        pa = PaddedCurveMatrix.from_dense(np.ones((4, 20)), "mo")  # side 32
+        pb = PaddedCurveMatrix.from_dense(np.ones((20, 4)), "mo")  # side 32
+        pc = PaddedCurveMatrix.from_dense(np.ones((4, 4)), "mo")   # side 4
+        with pytest.raises(LayoutError):
+            rect_matmul(pc, pa)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        m=st.integers(min_value=1, max_value=20),
+        k=st.integers(min_value=1, max_value=20),
+        n=st.integers(min_value=1, max_value=20),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_property(self, m, k, n, seed):
+        from repro.util.bits import ceil_pow2
+
+        side = ceil_pow2(max(m, k, n))
+        rng = np.random.default_rng(seed)
+        a = rng.random((m, k))
+        b = rng.random((k, n))
+        # Pad both to the common side.
+        a_sq = np.zeros((side, side)); a_sq[:m, :k] = a
+        b_sq = np.zeros((side, side)); b_sq[:k, :n] = b
+        pa = PaddedCurveMatrix.from_dense(a_sq, "mo")
+        pa = PaddedCurveMatrix(pa.inner, m, k)
+        pb = PaddedCurveMatrix.from_dense(b_sq, "mo")
+        pb = PaddedCurveMatrix(pb.inner, k, n)
+        c = rect_matmul(pa, pb, leaf=8)
+        np.testing.assert_allclose(c.to_dense(), a @ b, rtol=1e-10, atol=1e-12)

@@ -1,0 +1,123 @@
+"""Curve-sorted sparse matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.layout import CurveSparseMatrix
+
+
+def random_sparse_dense(side=16, density=0.2, seed=0):
+    rng = np.random.default_rng(seed)
+    dense = rng.random((side, side))
+    dense[rng.random((side, side)) > density] = 0.0
+    return dense
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("layout", ["rm", "mo", "ho"])
+    def test_dense_roundtrip(self, layout):
+        dense = random_sparse_dense()
+        sp = CurveSparseMatrix.from_dense(dense, layout)
+        np.testing.assert_array_equal(sp.to_dense(), dense)
+
+    def test_nnz_and_density(self):
+        dense = np.zeros((8, 8))
+        dense[0, 0] = dense[7, 7] = 1.0
+        sp = CurveSparseMatrix.from_dense(dense, "mo")
+        assert sp.nnz == 2
+        assert sp.density == pytest.approx(2 / 64)
+
+    def test_entries_sorted_by_curve_index(self):
+        sp = CurveSparseMatrix.from_dense(random_sparse_dense(), "ho")
+        assert np.all(np.diff(sp.indices.astype(np.int64)) > 0)
+
+    def test_from_coo_sums_duplicates(self):
+        sp = CurveSparseMatrix.from_coo(
+            [1, 1, 2], [2, 2, 3], [1.0, 2.0, 5.0], "mo", side=8
+        )
+        assert sp.nnz == 2
+        assert sp.to_dense()[1, 2] == pytest.approx(3.0)
+
+    def test_from_coo_requires_side_with_code(self):
+        with pytest.raises(LayoutError):
+            CurveSparseMatrix.from_coo([0], [0], [1.0], "mo")
+
+    def test_tolerance_filter(self):
+        dense = np.array([[1e-9, 2.0], [0.0, -3.0]])
+        sp = CurveSparseMatrix.from_dense(dense, "rm", tol=1e-6)
+        assert sp.nnz == 2
+
+    def test_rejects_unsorted(self):
+        from repro.curves import get_curve
+
+        with pytest.raises(LayoutError):
+            CurveSparseMatrix(
+                np.array([3, 1], dtype=np.uint64), np.ones(2), get_curve("mo", 4)
+            )
+
+    def test_rejects_out_of_range(self):
+        from repro.curves import get_curve
+
+        with pytest.raises(LayoutError):
+            CurveSparseMatrix(
+                np.array([16], dtype=np.uint64), np.ones(1), get_curve("mo", 4)
+            )
+
+
+class TestBlockSlice:
+    def test_slice_covers_block_entries(self):
+        dense = random_sparse_dense(side=16, seed=3)
+        sp = CurveSparseMatrix.from_dense(dense, "mo")
+        sl = sp.block_slice(8, 0, 8)
+        ys, xs = sp.curve.decode(sp.indices[sl])
+        assert np.all((ys >= 8) & (xs < 8))
+        # Count matches the dense block's nonzeros.
+        assert sl.stop - sl.start == np.count_nonzero(dense[8:16, 0:8])
+
+    def test_empty_block(self):
+        dense = np.zeros((8, 8))
+        dense[0, 0] = 1.0
+        sp = CurveSparseMatrix.from_dense(dense, "mo")
+        sl = sp.block_slice(4, 4, 4)
+        assert sl.start == sl.stop
+
+    def test_rowmajor_blocks_unsupported(self):
+        sp = CurveSparseMatrix.from_dense(random_sparse_dense(8, seed=4), "rm")
+        with pytest.raises(LayoutError):
+            sp.block_slice(0, 0, 4)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("layout", ["rm", "mo", "ho"])
+    def test_matvec(self, layout):
+        dense = random_sparse_dense(seed=5)
+        sp = CurveSparseMatrix.from_dense(dense, layout)
+        x = np.random.default_rng(6).random(dense.shape[0])
+        np.testing.assert_allclose(sp.matvec(x), dense @ x, rtol=1e-12)
+
+    @pytest.mark.parametrize("layout", ["rm", "mo"])
+    def test_matmul_dense(self, layout):
+        dense = random_sparse_dense(seed=7)
+        sp = CurveSparseMatrix.from_dense(dense, layout)
+        b = np.random.default_rng(8).random(dense.shape)
+        np.testing.assert_allclose(sp.matmul_dense(b), dense @ b, rtol=1e-12)
+
+    def test_matvec_validates_shape(self):
+        sp = CurveSparseMatrix.from_dense(random_sparse_dense(8, seed=9), "mo")
+        with pytest.raises(LayoutError):
+            sp.matvec(np.zeros(9))
+
+    @settings(max_examples=20)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        order=st.integers(min_value=1, max_value=4),
+    )
+    def test_matvec_property(self, seed, order):
+        side = 1 << order
+        dense = random_sparse_dense(side, density=0.4, seed=seed)
+        sp = CurveSparseMatrix.from_dense(dense, "mo")
+        x = np.random.default_rng(seed + 1).random(side)
+        np.testing.assert_allclose(sp.matvec(x), dense @ x, rtol=1e-10)

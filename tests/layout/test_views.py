@@ -1,0 +1,75 @@
+"""Quadrant contiguity — the tiling effect in buffer terms."""
+
+import numpy as np
+import pytest
+
+from repro.curves import HilbertCurve, MortonCurve, RowMajorCurve
+from repro.errors import LayoutError
+from repro.layout import CurveMatrix, block_range, is_block_contiguous, quadrant_views
+
+
+class TestBlockRange:
+    def test_morton_all_aligned_blocks_contiguous(self):
+        c = MortonCurve(16)
+        for size in (2, 4, 8, 16):
+            for y0 in range(0, 16, size):
+                for x0 in range(0, 16, size):
+                    start, stop = block_range(c, y0, x0, size)
+                    assert stop - start == size * size
+
+    def test_hilbert_all_aligned_blocks_contiguous(self):
+        c = HilbertCurve(16)
+        for size in (2, 4, 8):
+            for y0 in range(0, 16, size):
+                for x0 in range(0, 16, size):
+                    assert is_block_contiguous(c, y0, x0, size)
+
+    def test_rowmajor_blocks_not_contiguous(self):
+        assert not is_block_contiguous(RowMajorCurve(16), 0, 0, 4)
+
+    def test_rowmajor_full_matrix_contiguous(self):
+        assert is_block_contiguous(RowMajorCurve(16), 0, 0, 16)
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(LayoutError):
+            block_range(MortonCurve(16), 2, 0, 4)
+
+    def test_range_content_matches_block(self):
+        c = MortonCurve(8)
+        dense = np.arange(64.0).reshape(8, 8)
+        m = CurveMatrix.from_dense(dense, c)
+        start, stop = block_range(c, 4, 0, 4)
+        segment = np.sort(m.data[start:stop])
+        block = np.sort(dense[4:8, 0:4].ravel())
+        np.testing.assert_array_equal(segment, block)
+
+
+class TestQuadrantViews:
+    def test_morton_order(self):
+        m = CurveMatrix.zeros(8, "mo")
+        views = quadrant_views(m)
+        assert [(v.y0, v.x0) for v in views] == [(0, 0), (0, 4), (4, 0), (4, 4)]
+        assert [(v.start, v.stop) for v in views] == [
+            (0, 16), (16, 32), (32, 48), (48, 64)
+        ]
+
+    def test_hilbert_order_matches_table1(self):
+        m = CurveMatrix.zeros(8, "ho")
+        views = quadrant_views(m)
+        assert [(v.y0, v.x0) for v in views] == [(0, 0), (0, 4), (4, 4), (4, 0)]
+
+    def test_views_partition_buffer(self):
+        m = CurveMatrix.zeros(16, "ho")
+        views = quadrant_views(m)
+        assert views[0].start == 0
+        assert views[-1].stop == 256
+        for v0, v1 in zip(views, views[1:]):
+            assert v0.stop == v1.start
+
+    def test_non_quadrant_curve_rejected(self):
+        with pytest.raises(LayoutError):
+            quadrant_views(CurveMatrix.zeros(8, "rm"))
+
+    def test_side_one_rejected(self):
+        with pytest.raises(LayoutError):
+            quadrant_views(CurveMatrix.zeros(1, "mo"))

@@ -1,0 +1,101 @@
+"""3-D Morton volumes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.layout import MortonVolume
+
+
+@pytest.fixture
+def dense8():
+    return np.arange(8**3, dtype=np.float64).reshape(8, 8, 8)
+
+
+class TestConstruction:
+    def test_dense_roundtrip(self, dense8):
+        v = MortonVolume.from_dense(dense8)
+        np.testing.assert_array_equal(v.to_dense(), dense8)
+
+    def test_zeros(self):
+        v = MortonVolume.zeros(4)
+        assert v.shape == (4, 4, 4)
+        assert not v.data.any()
+
+    def test_rejects_non_cubic(self):
+        with pytest.raises(LayoutError):
+            MortonVolume.from_dense(np.zeros((4, 4, 8)))
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(LayoutError):
+            MortonVolume.from_dense(np.zeros((3, 3, 3)))
+
+    def test_rejects_bad_buffer(self):
+        with pytest.raises(LayoutError):
+            MortonVolume(np.zeros(10), 4)
+
+
+class TestAccess:
+    def test_scalar_get_set(self, dense8):
+        v = MortonVolume.from_dense(dense8)
+        assert v[3, 5, 7] == dense8[3, 5, 7]
+        v[3, 5, 7] = -1.0
+        assert v[3, 5, 7] == -1.0
+
+    def test_fancy_get(self, dense8):
+        v = MortonVolume.from_dense(dense8)
+        z = np.array([0, 1], dtype=np.uint64)
+        y = np.array([2, 3], dtype=np.uint64)
+        x = np.array([4, 5], dtype=np.uint64)
+        np.testing.assert_array_equal(v[z, y, x], dense8[z, y, x])
+
+    def test_out_of_range(self, dense8):
+        v = MortonVolume.from_dense(dense8)
+        with pytest.raises(LayoutError):
+            v[8, 0, 0]
+
+    def test_unit_cube_order(self):
+        # The 2x2x2 volume is stored in z-major binary-counting order.
+        dense = np.arange(8.0).reshape(2, 2, 2)
+        v = MortonVolume.from_dense(dense)
+        np.testing.assert_array_equal(v.data, np.arange(8.0))
+
+
+class TestSubcubes:
+    def test_all_aligned_subcubes_contiguous(self, dense8):
+        v = MortonVolume.from_dense(dense8)
+        for size in (2, 4, 8):
+            for z0 in range(0, 8, size):
+                for y0 in range(0, 8, size):
+                    for x0 in range(0, 8, size):
+                        start, stop = v.subcube_range(z0, y0, x0, size)
+                        assert stop - start == size**3
+
+    def test_subcube_contents(self, dense8):
+        v = MortonVolume.from_dense(dense8)
+        np.testing.assert_array_equal(
+            v.subcube(4, 0, 4, 4), dense8[4:8, 0:4, 4:8]
+        )
+
+    def test_unaligned_rejected(self, dense8):
+        v = MortonVolume.from_dense(dense8)
+        with pytest.raises(LayoutError):
+            v.subcube_range(1, 0, 0, 4)
+
+    def test_oversized_rejected(self, dense8):
+        v = MortonVolume.from_dense(dense8)
+        with pytest.raises(LayoutError):
+            v.subcube_range(4, 4, 4, 8)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    order=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_roundtrip_property(order, seed):
+    side = 1 << order
+    dense = np.random.default_rng(seed).random((side, side, side))
+    np.testing.assert_array_equal(MortonVolume.from_dense(dense).to_dense(), dense)

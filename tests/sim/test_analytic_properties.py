@@ -1,0 +1,76 @@
+"""Property-based sanity of the analytic model (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import PerformanceModel
+
+MODEL = PerformanceModel()
+
+schemes = st.sampled_from(["rm", "mo", "ho"])
+sizes = st.sampled_from([1024, 2048, 4096])
+freqs = st.sampled_from([1.2, 1.8, 2.6])
+single_threads = st.sampled_from([1, 2, 4, 8])
+
+
+@settings(max_examples=60, deadline=None)
+@given(scheme=schemes, n=sizes, freq=freqs, threads=single_threads)
+def test_outputs_positive_and_consistent(scheme, n, freq, threads):
+    p = MODEL.predict(scheme, n, freq, threads, 1)
+    assert p.seconds > 0
+    assert p.compute_seconds > 0
+    assert p.memory_seconds >= 0
+    assert p.seconds >= max(p.compute_seconds, p.memory_seconds)
+    assert p.energy.package_j > p.energy.pp0_j > 0
+    assert p.energy.dram_j > 0
+    assert 0 <= p.compute_fraction <= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(scheme=schemes, n=sizes, freq=freqs)
+def test_time_decreases_with_threads(scheme, n, freq):
+    times = [MODEL.predict(scheme, n, freq, p, 1).seconds for p in (1, 2, 4, 8)]
+    assert all(a > b for a, b in zip(times, times[1:]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(scheme=schemes, n=sizes, threads=single_threads)
+def test_time_decreases_with_frequency(scheme, n, threads):
+    times = [MODEL.predict(scheme, n, f, threads, 1).seconds for f in (1.2, 1.8, 2.6)]
+    assert all(a > b for a, b in zip(times, times[1:]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(scheme=schemes, freq=freqs, threads=single_threads)
+def test_time_grows_with_size(scheme, freq, threads):
+    times = [
+        MODEL.predict(scheme, n, freq, threads, 1).seconds
+        for n in (1024, 2048, 4096)
+    ]
+    # Superlinear (at least cubic / p) growth in n.
+    assert times[1] > 7 * times[0]
+    assert times[2] > 7 * times[1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=sizes, freq=freqs, threads=single_threads)
+def test_scheme_compute_ordering_invariant(n, freq, threads):
+    rm = MODEL.predict("rm", n, freq, threads, 1)
+    mo = MODEL.predict("mo", n, freq, threads, 1)
+    ho = MODEL.predict("ho", n, freq, threads, 1)
+    # Compute time always ranks RM < MO < HO regardless of configuration.
+    assert rm.compute_seconds < mo.compute_seconds < ho.compute_seconds
+    # Locality ranks the other way — up to ~10% slack near the in-cache
+    # floor, where compulsory misses are layout-independent and the fitted
+    # curves cross within noise.
+    assert ho.llc_misses <= mo.llc_misses * 1.10
+    assert mo.llc_misses <= rm.llc_misses * 1.10
+
+
+@settings(max_examples=30, deadline=None)
+@given(scheme=schemes, n=sizes, freq=freqs)
+def test_dual_socket_never_reduces_package_power(scheme, n, freq):
+    single = MODEL.predict(scheme, n, freq, 8, 1)
+    dual = MODEL.predict(scheme, n, freq, 16, 2)
+    assert dual.power.package_w > single.power.package_w

@@ -1,0 +1,68 @@
+"""End-to-end calibration consistency: analytic model vs exact simulator.
+
+The analytic model's shipped miss curves claim to summarize the exact
+trace-driven simulator; these tests close the loop by measuring ``mpi``
+with the simulator at scaled machine/problem pairs and comparing against
+``misses_per_iteration`` at the same capacity ratio.
+"""
+
+import pytest
+
+from repro.sim import (
+    CacheSpec,
+    MachineSpec,
+    MulticoreTraceSim,
+    misses_per_iteration,
+)
+from repro.trace import MatmulTraceSpec
+
+
+def measured_mpi(scheme: str, n: int, l3_bytes: int) -> float:
+    machine = MachineSpec(
+        name="cal",
+        sockets=1,
+        cores_per_socket=1,
+        l1=CacheSpec("L1", 512, 64, 1),
+        l2=CacheSpec("L2", 2048, 64, 8),
+        l3=CacheSpec("L3", l3_bytes, 64, 16),
+    )
+    sim = MulticoreTraceSim(machine, MatmulTraceSpec.uniform(n, scheme))
+    mid = n // 2
+    sim.run(rows=[mid - 1])  # warm-up
+    before = sim.result().l3.misses
+    sim.run(rows=[mid, mid + 1])
+    return (sim.result().l3.misses - before) / (2 * n * n)
+
+
+@pytest.mark.slow
+class TestCalibrationConsistency:
+    @pytest.mark.parametrize("scheme", ["rm", "mo", "ho"])
+    def test_streaming_regime(self, scheme):
+        # u = 6: all schemes past their transitions.
+        n, l3 = 128, 64 * 1024
+        u = 3 * 8 * n * n / l3
+        measured = measured_mpi(scheme, n, l3)
+        modelled = misses_per_iteration(scheme, u)
+        assert modelled == pytest.approx(measured, rel=0.5), (
+            scheme, u, measured, modelled
+        )
+
+    @pytest.mark.parametrize("scheme", ["rm", "mo", "ho"])
+    def test_in_cache_regime(self, scheme):
+        # u = 0.75: everything fits; both must be tiny.
+        n, l3 = 64, 128 * 1024
+        measured = measured_mpi(scheme, n, l3)
+        modelled = misses_per_iteration(scheme, 3 * 8 * n * n / l3)
+        assert measured < 0.02
+        assert modelled < 0.02
+
+    def test_transition_located_consistently(self):
+        # The model's RM transition (center ~3.4) must match where the
+        # simulator's measured mpi crosses half its plateau.
+        n = 128
+        below = measured_mpi("rm", n, 256 * 1024)  # u = 1.5
+        above = measured_mpi("rm", n, 64 * 1024)   # u = 6
+        assert below < 0.2
+        assert above > 0.8
+        assert misses_per_iteration("rm", 1.5) < 0.2
+        assert misses_per_iteration("rm", 6.0) > 0.8

@@ -1,0 +1,71 @@
+"""Core timing model: the paper's RM < MO << HO cycle costs."""
+
+import pytest
+
+from repro.sim import cycles_per_iteration, hoisted_index_ops, kernel_compute_seconds
+
+
+class TestHoisting:
+    def test_rm_is_pointer_increments(self):
+        alu, br = hoisted_index_ops("rm", 10)
+        assert alu == 2.0 and br == 0.0
+
+    def test_mo_pays_one_dilation(self):
+        alu, br = hoisted_index_ops("mo", 10)
+        assert alu == 19.0 and br == 0.0
+
+    def test_mo_constant_in_bits(self):
+        assert hoisted_index_ops("mo", 10) == hoisted_index_ops("mo", 12)
+
+    def test_ho_linear_in_bits(self):
+        a10, b10 = hoisted_index_ops("ho", 10)
+        a12, b12 = hoisted_index_ops("ho", 12)
+        assert a12 > a10 and b12 > b10
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            hoisted_index_ops("zz", 10)
+
+
+class TestCycleModel:
+    def test_ordering(self):
+        rm = cycles_per_iteration("rm", 1024)
+        mo = cycles_per_iteration("mo", 1024)
+        ho = cycles_per_iteration("ho", 1024)
+        assert rm < mo < ho
+        # Paper: HO an order of magnitude above RM.
+        assert ho > 10 * rm
+
+    def test_paper_calibration_size10(self):
+        # Table IV single-thread, size 10, 2.6 GHz: RM 3.3 s, MO 6.2 s,
+        # HO 41.4 s => ~8 / 15 / 100 cycles per iteration; model within 25%.
+        assert cycles_per_iteration("rm", 1024) == pytest.approx(8.0, rel=0.25)
+        assert cycles_per_iteration("mo", 1024) == pytest.approx(15.0, rel=0.25)
+        assert cycles_per_iteration("ho", 1024) == pytest.approx(100.0, rel=0.25)
+
+    def test_rejects_tiny_side(self):
+        with pytest.raises(ValueError):
+            cycles_per_iteration("rm", 1)
+
+
+class TestComputeSeconds:
+    def test_scales_with_cube(self):
+        t1 = kernel_compute_seconds("rm", 512, 2.6)
+        t2 = kernel_compute_seconds("rm", 1024, 2.6)
+        assert t2 / t1 == pytest.approx(8.0, rel=0.05)
+
+    def test_inverse_in_frequency(self):
+        t_lo = kernel_compute_seconds("mo", 512, 1.3)
+        t_hi = kernel_compute_seconds("mo", 512, 2.6)
+        assert t_lo / t_hi == pytest.approx(2.0, rel=1e-9)
+
+    def test_inverse_in_threads(self):
+        t1 = kernel_compute_seconds("ho", 512, 2.6, threads=1)
+        t8 = kernel_compute_seconds("ho", 512, 2.6, threads=8)
+        assert t1 / t8 == pytest.approx(8.0, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kernel_compute_seconds("rm", 512, 0)
+        with pytest.raises(ValueError):
+            kernel_compute_seconds("rm", 512, 2.6, threads=0)

@@ -1,0 +1,68 @@
+"""Bandwidth model: latency-bound vs bandwidth-bound regimes, NUMA."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import SANDY_BRIDGE_E5_2670 as M
+from repro.sim import dram_power_watts, effective_bandwidth_gbps, memory_seconds
+
+
+class TestEffectiveBandwidth:
+    def test_single_thread_latency_bound(self):
+        bw = effective_bandwidth_gbps(M, 1, 1, 2.6)
+        # mlp * line / latency ~ 10 * 64 / 107.7 ns ~ 5.9 GB/s.
+        assert bw == pytest.approx(5.9, rel=0.05)
+        assert bw < M.dram.bandwidth_gbps
+
+    def test_scales_with_threads_until_cap(self):
+        bws = [effective_bandwidth_gbps(M, p, 1, 2.6) for p in (1, 2, 4, 8)]
+        assert bws == sorted(bws)
+        assert bws[-1] == M.dram.bandwidth_gbps  # capped
+
+    def test_frequency_mildly_helps(self):
+        lo = effective_bandwidth_gbps(M, 1, 1, 1.2)
+        hi = effective_bandwidth_gbps(M, 1, 1, 2.6)
+        assert lo < hi < lo * 1.25
+
+    def test_numa_penalty(self):
+        single = effective_bandwidth_gbps(M, 2, 1, 2.6)
+        dual = effective_bandwidth_gbps(M, 2, 2, 2.6)
+        assert dual < single
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            effective_bandwidth_gbps(M, 0, 1, 2.6)
+        with pytest.raises(SimulationError):
+            effective_bandwidth_gbps(M, 1, 3, 2.6)
+        with pytest.raises(SimulationError):
+            effective_bandwidth_gbps(M, 1, 1, 0)
+
+
+class TestMemorySeconds:
+    def test_proportional_to_misses(self):
+        t1 = memory_seconds(M, 1e9, 8, 1, 2.6)
+        t2 = memory_seconds(M, 2e9, 8, 1, 2.6)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_zero_misses(self):
+        assert memory_seconds(M, 0, 8, 1, 2.6) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            memory_seconds(M, -1, 8, 1, 2.6)
+
+
+class TestDramPower:
+    def test_background_dominates(self):
+        # Paper: DRAM energy nearly constant.
+        idle = dram_power_watts(M.dram, 0.0)
+        busy = dram_power_watts(M.dram, 40.0)
+        assert idle > 0
+        assert busy < 3 * idle
+
+    def test_monotone_in_traffic(self):
+        assert dram_power_watts(M.dram, 10) < dram_power_watts(M.dram, 20)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            dram_power_watts(M.dram, -1)

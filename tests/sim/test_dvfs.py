@@ -1,0 +1,72 @@
+"""Governors: fixed points and ondemand/Turbo behaviour."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    FixedGovernor,
+    ONDEMAND,
+    OndemandGovernor,
+    SANDY_BRIDGE_E5_2670 as M,
+    make_governor,
+)
+
+
+class TestFixed:
+    @pytest.mark.parametrize("ghz", [1.2, 1.8, 2.6])
+    def test_returns_pinned(self, ghz):
+        g = FixedGovernor(ghz)
+        assert g.frequency_ghz(M, 8) == ghz
+
+    def test_label(self):
+        assert FixedGovernor(1.2).label == "1200MHz"
+        assert FixedGovernor(2.6).label == "2600MHz"
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SimulationError):
+            FixedGovernor(0)
+
+
+class TestOndemand:
+    def test_exceeds_nominal(self):
+        # Turbo always clears the 2.6 GHz base under load.
+        g = OndemandGovernor()
+        for cores in (1, 4, 8):
+            assert g.frequency_ghz(M, cores) > 2.6
+
+    def test_single_core_max_turbo(self):
+        assert OndemandGovernor().frequency_ghz(M, 1) == pytest.approx(
+            M.turbo_1core_ghz
+        )
+
+    def test_allcore_turbo(self):
+        assert OndemandGovernor().frequency_ghz(M, 8) == pytest.approx(
+            M.turbo_allcore_ghz
+        )
+
+    def test_monotone_decreasing_in_cores(self):
+        g = OndemandGovernor()
+        freqs = [g.frequency_ghz(M, c) for c in (1, 2, 4, 8)]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_label(self):
+        assert OndemandGovernor().label == ONDEMAND
+
+    def test_rejects_nonpositive_cores(self):
+        with pytest.raises(SimulationError):
+            OndemandGovernor().frequency_ghz(M, 0)
+
+
+class TestFactory:
+    def test_float(self):
+        g = make_governor(1.8)
+        assert isinstance(g, FixedGovernor)
+        assert g.ghz == 1.8
+
+    def test_string(self):
+        assert isinstance(make_governor("ondemand"), OndemandGovernor)
+        assert isinstance(make_governor("ONDEMAND"), OndemandGovernor)
+
+    def test_unknown_string(self):
+        with pytest.raises(SimulationError):
+            make_governor("performance")

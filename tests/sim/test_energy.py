@@ -1,0 +1,75 @@
+"""Power model: TDP envelope, frequency scaling, domain relationships."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import SANDY_BRIDGE_E5_2670 as M
+from repro.sim import PowerModelParams, power_breakdown, voltage
+
+
+class TestVoltage:
+    def test_curve_endpoints(self):
+        assert voltage(1.2) == pytest.approx(0.65, abs=0.02)
+        assert voltage(2.6) == pytest.approx(0.95, abs=0.02)
+
+    def test_monotone(self):
+        assert voltage(1.2) < voltage(1.8) < voltage(2.6) < voltage(3.3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(SimulationError):
+            voltage(0)
+
+
+class TestPowerBreakdown:
+    def test_full_load_near_tdp(self):
+        # 8 compute-bound cores at 2.6 GHz: one socket package should be in
+        # the TDP neighbourhood (115 W) without exceeding it grossly.
+        p = power_breakdown(M, 2.6, threads=8, sockets_used=1,
+                            compute_fraction=1.0, demand_gbps=5.0)
+        one_socket = p.package_w - (
+            PowerModelParams().uncore_static_w + 8 * PowerModelParams().core_idle_w
+        )  # subtract the idle second socket
+        assert 80 <= one_socket <= 130
+
+    def test_pp0_below_package(self):
+        p = power_breakdown(M, 2.6, 8, 1, 1.0, 5.0)
+        assert p.pp0_w < p.package_w
+
+    def test_cubic_ish_frequency_scaling(self):
+        # Dynamic power grows super-linearly in f (V rises with f).
+        lo = power_breakdown(M, 1.2, 8, 1, 1.0, 5.0)
+        hi = power_breakdown(M, 2.6, 8, 1, 1.0, 5.0)
+        assert hi.pp0_w / lo.pp0_w > 2.6 / 1.2
+
+    def test_stalled_cores_draw_less(self):
+        busy = power_breakdown(M, 2.6, 8, 1, 1.0, 5.0)
+        stalled = power_breakdown(M, 2.6, 8, 1, 0.1, 40.0)
+        assert stalled.pp0_w < busy.pp0_w
+
+    def test_dram_small_and_stable(self):
+        # Paper: DRAM power small compared to cores (factor ~4 at high f)
+        # and nearly constant across configurations.
+        idle_mem = power_breakdown(M, 2.6, 8, 1, 1.0, 2.0)
+        busy_mem = power_breakdown(M, 2.6, 8, 1, 0.2, 40.0)
+        assert busy_mem.dram_w < 2.2 * idle_mem.dram_w
+        assert idle_mem.pp0_w / idle_mem.dram_w > 3.0
+
+    def test_dual_socket_more_power(self):
+        single = power_breakdown(M, 2.6, 8, 1, 1.0, 5.0)
+        dual = power_breakdown(M, 2.6, 16, 2, 1.0, 5.0)
+        assert dual.package_w > single.package_w
+
+    def test_energy_integration(self):
+        p = power_breakdown(M, 2.6, 8, 1, 1.0, 5.0)
+        e = p.energies(10.0)
+        assert e.package_j == pytest.approx(10 * p.package_w)
+        assert e.total_j == pytest.approx(e.package_j + e.dram_j)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            power_breakdown(M, 2.6, 8, 1, 1.5, 5.0)
+        with pytest.raises(SimulationError):
+            power_breakdown(M, 2.6, 0, 1, 1.0, 5.0)
+        with pytest.raises(SimulationError):
+            p = power_breakdown(M, 2.6, 8, 1, 1.0, 5.0)
+            p.energies(-1.0)

@@ -1,0 +1,119 @@
+"""Thread placement, row partitioning and multicore trace simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    CacheSpec,
+    MachineSpec,
+    MulticoreTraceSim,
+    ThreadPlacement,
+    partition_rows,
+)
+from repro.trace import MatmulTraceSpec, trace_length
+
+
+@pytest.fixture
+def machine():
+    return MachineSpec(
+        name="mini",
+        sockets=2,
+        cores_per_socket=4,
+        l1=CacheSpec("L1", 512, 64, 2),
+        l2=CacheSpec("L2", 2048, 64, 4),
+        l3=CacheSpec("L3", 16 * 1024, 64, 8),
+    )
+
+
+class TestPartition:
+    def test_even(self):
+        parts = partition_rows(8, 4)
+        assert [list(p) for p in parts] == [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+    def test_remainder_to_early_threads(self):
+        parts = partition_rows(10, 4)
+        assert [len(p) for p in parts] == [3, 3, 2, 2]
+        assert parts[0][0] == 0 and parts[-1][-1] == 9
+
+    def test_more_threads_than_rows(self):
+        parts = partition_rows(2, 4)
+        assert [len(p) for p in parts] == [1, 1, 0, 0]
+
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            partition_rows(0, 2)
+
+
+class TestPlacement:
+    def test_single_socket(self, machine):
+        p = ThreadPlacement.pack(machine, 4, 1)
+        assert all(s == 0 for s, _ in p.assignments)
+        assert [c for _, c in p.assignments] == [0, 1, 2, 3]
+
+    def test_dual_socket_alternates(self, machine):
+        p = ThreadPlacement.pack(machine, 4, 2)
+        assert [s for s, _ in p.assignments] == [0, 1, 0, 1]
+        assert [c for _, c in p.assignments] == [0, 0, 1, 1]
+
+    def test_overcommit_rejected(self, machine):
+        with pytest.raises(SimulationError):
+            ThreadPlacement.pack(machine, 5, 1)
+
+    def test_paper_configs(self, machine):
+        # 1s, 4s, 2d, 8d-equivalent all construct.
+        for threads, sockets in ((1, 1), (4, 1), (2, 2), (8, 2)):
+            p = ThreadPlacement.pack(machine, threads, sockets)
+            assert p.threads == threads
+
+
+class TestMulticoreSim:
+    def test_total_accesses_partitioned(self, machine):
+        spec = MatmulTraceSpec.uniform(16, "rm")
+        sim = MulticoreTraceSim(machine, spec, threads=4, sockets_used=2)
+        r = sim.run()
+        assert r.l1.accesses == trace_length(16)
+
+    def test_single_vs_multi_same_workload(self, machine):
+        spec = MatmulTraceSpec.uniform(16, "mo")
+        r1 = MulticoreTraceSim(machine, spec, 1, 1).run()
+        r4 = MulticoreTraceSim(machine, spec, 4, 1).run()
+        assert r1.l1.accesses == r4.l1.accesses
+        # Shared read-only operands mean more private cold misses with more
+        # cores, never fewer.
+        assert r4.l1.misses >= r1.l1.misses
+
+    def test_dual_socket_splits_l3_traffic(self, machine):
+        spec = MatmulTraceSpec.uniform(16, "rm")
+        sim = MulticoreTraceSim(machine, spec, threads=2, sockets_used=2)
+        sim.run()
+        a0 = sim.sockets[0].l3.stats.accesses
+        a1 = sim.sockets[1].l3.stats.accesses
+        assert a0 > 0 and a1 > 0
+
+    def test_sampled_rows(self, machine):
+        spec = MatmulTraceSpec.uniform(16, "ho")
+        sim = MulticoreTraceSim(machine, spec, threads=2, sockets_used=1)
+        r = sim.run(rows=[7, 8])
+        assert r.l1.accesses == trace_length(16, rows=[7, 8])
+
+    def test_result_idempotent(self, machine):
+        spec = MatmulTraceSpec.uniform(8, "rm")
+        sim = MulticoreTraceSim(machine, spec, 2, 1)
+        sim.run()
+        r1 = sim.result()
+        r2 = sim.result()
+        assert r1.l3.misses == r2.l3.misses
+        assert r1.l1.accesses == r2.l1.accesses
+
+    def test_rm_misses_exceed_mo_out_of_cache(self, machine):
+        # The paper's core locality effect at trace level: out-of-cache,
+        # row-major suffers far more LLC misses than Morton.
+        n = 64  # footprint 96 KB >> 16 KB L3
+        rm = MulticoreTraceSim(machine, MatmulTraceSpec.uniform(n, "rm"), 1, 1).run(
+            rows=[32, 33]
+        )
+        mo = MulticoreTraceSim(machine, MatmulTraceSpec.uniform(n, "mo"), 1, 1).run(
+            rows=[32, 33]
+        )
+        assert rm.l3.misses > 3 * mo.l3.misses

@@ -1,0 +1,34 @@
+"""Wall-power meter model and the paper's 38% component share."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import PowerMeter, SANDY_BRIDGE_E5_2670 as M
+from repro.sim import power_breakdown
+
+
+class TestPowerMeter:
+    def test_wall_exceeds_components(self):
+        p = power_breakdown(M, 2.6, 16, 2, 1.0, 10.0)
+        r = PowerMeter().read(p)
+        assert r.wall_w > r.component_w
+
+    def test_full_load_component_share_near_38_percent(self):
+        # Paper Section IV-B: "the memory and the two CPUs account for
+        # approximately 38% of the total system consumption when all cores
+        # are utilized."
+        p = power_breakdown(M, 2.6, 16, 2, compute_fraction=0.8, demand_gbps=30.0)
+        r = PowerMeter().read(p)
+        assert r.component_fraction == pytest.approx(0.38, abs=0.06)
+
+    def test_psu_efficiency_direction(self):
+        p = power_breakdown(M, 2.6, 16, 2, 1.0, 10.0)
+        lossy = PowerMeter(psu_efficiency=0.80).read(p)
+        ideal = PowerMeter(psu_efficiency=1.00).read(p)
+        assert lossy.wall_w > ideal.wall_w
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            PowerMeter(psu_efficiency=0.0)
+        with pytest.raises(SimulationError):
+            PowerMeter(rest_of_system_w=-1.0)

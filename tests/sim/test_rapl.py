@@ -1,0 +1,98 @@
+"""RAPL counter emulation: quantization, wraparound, unwrapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import RAPL_ENERGY_UNIT_J, RaplCounter, unwrap_counter
+
+
+class TestCounter:
+    def test_unit_is_papers(self):
+        assert RAPL_ENERGY_UNIT_J == pytest.approx(15.3e-6)
+
+    def test_quantization(self):
+        c = RaplCounter()
+        c.deposit(RAPL_ENERGY_UNIT_J * 2.7)
+        assert c.read() == 2  # floor to whole units
+
+    def test_residue_carried(self):
+        c = RaplCounter()
+        for _ in range(10):
+            c.deposit(RAPL_ENERGY_UNIT_J * 0.3)
+        # 3.0 units accumulated; float rounding may leave it a hair below.
+        assert c.read() in (2, 3)
+        assert c.total_joules == pytest.approx(3 * RAPL_ENERGY_UNIT_J)
+
+    def test_total_joules_exact(self):
+        c = RaplCounter()
+        c.deposit(1.0)
+        c.deposit(0.5)
+        assert c.total_joules == pytest.approx(1.5)
+
+    def test_wraparound(self):
+        c = RaplCounter()
+        c.deposit(RAPL_ENERGY_UNIT_J * (2**32 + 5))
+        assert c.read() == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            RaplCounter().deposit(-1.0)
+
+    def test_rejects_bad_unit(self):
+        with pytest.raises(SimulationError):
+            RaplCounter(unit_j=0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=10.0), min_size=1, max_size=50))
+    def test_quantization_error_bounded(self, deposits):
+        c = RaplCounter()
+        for d in deposits:
+            c.deposit(d)
+        true = sum(deposits)
+        observed = c.read() * RAPL_ENERGY_UNIT_J
+        assert abs(true - observed) < RAPL_ENERGY_UNIT_J
+
+
+class TestUnwrap:
+    def test_monotone_input(self):
+        raw = np.array([0, 100, 250, 400])
+        j = unwrap_counter(raw)
+        np.testing.assert_allclose(j, raw * RAPL_ENERGY_UNIT_J)
+
+    def test_single_wrap(self):
+        raw = np.array([2**32 - 10, 5])
+        j = unwrap_counter(raw)
+        assert j[1] - j[0] == pytest.approx(15 * RAPL_ENERGY_UNIT_J)
+
+    def test_multiple_wraps(self):
+        raw = np.array([2**32 - 1, 10, 2**32 - 1, 10])
+        j = unwrap_counter(raw)
+        assert np.all(np.diff(j) > 0)
+
+    def test_round_trip_with_counter(self):
+        c = RaplCounter()
+        samples = [c.read()]
+        rng = np.random.default_rng(0)
+        total = 0.0
+        for _ in range(20):
+            e = float(rng.uniform(0, 5))
+            total += e
+            c.deposit(e)
+            samples.append(c.read())
+        j = unwrap_counter(np.array(samples))
+        assert j[-1] == pytest.approx(total, abs=RAPL_ENERGY_UNIT_J * 21)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SimulationError):
+            unwrap_counter(np.array([2**32]))
+        with pytest.raises(SimulationError):
+            unwrap_counter(np.array([-1]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(SimulationError):
+            unwrap_counter(np.zeros((2, 2)))
+
+    def test_empty(self):
+        assert unwrap_counter(np.array([], dtype=np.int64)).size == 0

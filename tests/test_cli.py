@@ -1,0 +1,102 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+
+class TestCommands:
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE IV" in out
+        assert "Dual Socket" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 4" in out and "MO" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        assert "1200MHz" in capsys.readouterr().out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "Energy [J]" in out and "DRAM" in out
+
+    def test_predict(self, capsys):
+        assert main(["predict", "--scheme", "mo", "--size", "11",
+                     "--frequency", "1.8", "--threads", "8d"]) == 0
+        out = capsys.readouterr().out
+        assert "mo-11-1800MHz-8d" in out
+        assert "energy" in out
+
+    def test_predict_ondemand(self, capsys):
+        assert main(["predict", "--frequency", "ondemand"]) == 0
+        assert "ondemand" in capsys.readouterr().out
+
+    def test_validate_passes(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out
+
+    def test_cachegrind_small(self, capsys):
+        assert main(["cachegrind", "--n", "64", "--rows", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "HO / MO ratio" in out
+        assert "LL  misses" in out
+
+    def test_atlas_small(self, capsys):
+        assert main(["atlas", "--side", "64"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_hardware(self, capsys):
+        assert main(["hardware", "--size", "11", "--threads", "8s"]) == 0
+        out = capsys.readouterr().out
+        assert "ho-hw" in out and "mo-inc" in out
+
+    def test_edp(self, capsys):
+        assert main(["edp"]) == 0
+        out = capsys.readouterr().out
+        assert "min EDP" in out
+
+    def test_roofline(self, capsys):
+        assert main(["roofline"]) == 0
+        out = capsys.readouterr().out
+        assert "memory-bound" in out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "eff" in out and "HO size 12" in out
+
+    def test_gallery(self, capsys):
+        assert main(["gallery", "--order", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Morton" in out and "Hilbert" in out
+
+
+class TestErrorHandling:
+    def test_bad_scheme_exits_2(self, capsys):
+        assert main(["predict", "--scheme", "zz"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_thread_config_exits_2(self, capsys):
+        assert main(["predict", "--threads", "3x"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_governor_exits_2(self, capsys):
+        assert main(["predict", "--frequency", "performance"]) == 2
+        assert "error" in capsys.readouterr().err

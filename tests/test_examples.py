@@ -1,0 +1,59 @@
+"""Every shipped example must run clean (deliverable guard)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "Index-computation cost" in out
+
+
+def test_curve_gallery(capsys):
+    out = run_example("curve_gallery.py", capsys)
+    assert "Fig. 1" in out
+    assert "tile span" in out
+
+
+def test_future_work(capsys):
+    out = run_example("future_work.py", capsys)
+    assert "ho-hw" in out
+    assert "bit swap" in out
+
+
+def test_sparse_and_stencil(capsys):
+    out = run_example("sparse_and_stencil.py", capsys)
+    assert "SpMV" in out
+    assert "conserved" in out
+
+
+def test_conflict_misses(capsys):
+    out = run_example("conflict_misses.py", capsys)
+    assert "conflict" in out
+    assert "padded" in out
+
+
+@pytest.mark.slow
+def test_energy_study(capsys):
+    out = run_example("energy_study.py", capsys)
+    assert "TABLE IV" in out
+    assert "[PASS]" in out
+    assert "[FAIL]" not in out
+
+
+@pytest.mark.slow
+def test_cache_explorer(capsys):
+    out = run_example("cache_explorer.py", capsys)
+    assert "HO / MO ratio" in out

@@ -1,0 +1,60 @@
+"""Trace chunk representation."""
+
+import numpy as np
+import pytest
+
+from repro.trace import TAG_A, TAG_B, TAG_C, TraceChunk, concat_chunks
+
+
+class TestTraceChunk:
+    def test_reads_constructor(self):
+        c = TraceChunk.reads(np.array([0, 8, 16]), tag=TAG_B)
+        assert len(c) == 3
+        assert not c.is_write.any()
+        assert (c.tag == TAG_B).all()
+
+    def test_writes_constructor(self):
+        c = TraceChunk.writes(np.array([64]))
+        assert c.is_write.all()
+        assert (c.tag == TAG_C).all()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TraceChunk(
+                np.zeros(3, dtype=np.uint64),
+                np.zeros(2, dtype=bool),
+                np.zeros(3, dtype=np.uint8),
+            )
+
+    def test_lines(self):
+        c = TraceChunk.reads(np.array([0, 63, 64, 127, 128]))
+        np.testing.assert_array_equal(c.lines(64), [0, 0, 1, 1, 2])
+
+    def test_lines_rejects_non_pow2(self):
+        c = TraceChunk.reads(np.array([0]))
+        with pytest.raises(ValueError):
+            c.lines(48)
+
+    def test_dtype_coercion(self):
+        c = TraceChunk(
+            np.array([1, 2], dtype=np.int32),
+            np.array([0, 1], dtype=np.int8),
+            np.array([0, 1], dtype=np.int16),
+        )
+        assert c.addr.dtype == np.uint64
+        assert c.is_write.dtype == bool
+        assert c.tag.dtype == np.uint8
+
+
+class TestConcat:
+    def test_empty(self):
+        c = concat_chunks([])
+        assert len(c) == 0
+
+    def test_roundtrip(self):
+        a = TraceChunk.reads(np.array([0, 8]), tag=TAG_A)
+        b = TraceChunk.writes(np.array([16]))
+        c = concat_chunks([a, b])
+        assert len(c) == 3
+        np.testing.assert_array_equal(c.addr, [0, 8, 16])
+        np.testing.assert_array_equal(c.is_write, [False, False, True])

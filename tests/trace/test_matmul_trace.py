@@ -1,0 +1,95 @@
+"""Naive-kernel trace generation: access order, tags, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.curves import get_curve
+from repro.errors import SimulationError
+from repro.trace import (
+    ELEM_BYTES,
+    TAG_A,
+    TAG_B,
+    TAG_C,
+    MatmulTraceSpec,
+    concat_chunks,
+    naive_matmul_trace,
+    trace_length,
+)
+
+
+@pytest.fixture
+def spec8():
+    return MatmulTraceSpec.uniform(8, "rm")
+
+
+class TestSpec:
+    def test_uniform(self, spec8):
+        assert spec8.scheme_a == spec8.scheme_b == spec8.scheme_c == "rm"
+
+    def test_bases_page_aligned_disjoint(self, spec8):
+        a, b, c = spec8.base("a"), spec8.base("b"), spec8.base("c")
+        assert a == 0
+        assert b % 4096 == 0 and c % 4096 == 0
+        assert b >= spec8.matrix_bytes
+        assert c >= b + spec8.matrix_bytes
+
+    def test_matrix_bytes(self, spec8):
+        assert spec8.matrix_bytes == 8 * 8 * ELEM_BYTES
+
+
+class TestTraceStructure:
+    def test_length(self, spec8):
+        total = sum(len(c) for c in naive_matmul_trace(spec8))
+        assert total == trace_length(8) == 8 * 8 * (2 * 8 + 1)
+
+    def test_sampled_length(self, spec8):
+        total = sum(len(c) for c in naive_matmul_trace(spec8, rows=[3, 4]))
+        assert total == trace_length(8, rows=[3, 4])
+
+    def test_tag_pattern(self, spec8):
+        chunk = next(naive_matmul_trace(spec8, rows=[0], cols_per_chunk=1))
+        # One j iteration: A,B alternating for 8 k values, then C.
+        assert len(chunk) == 17
+        np.testing.assert_array_equal(chunk.tag[:16:2], TAG_A)
+        np.testing.assert_array_equal(chunk.tag[1:16:2], TAG_B)
+        assert chunk.tag[16] == TAG_C
+
+    def test_only_c_is_written(self, spec8):
+        full = concat_chunks(list(naive_matmul_trace(spec8)))
+        assert (full.tag[full.is_write] == TAG_C).all()
+        assert not full.is_write[full.tag != TAG_C].any()
+
+    def test_addresses_match_kernel_semantics(self):
+        n = 4
+        spec = MatmulTraceSpec.uniform(n, "mo")
+        curve = get_curve("mo", n)
+        chunk = next(naive_matmul_trace(spec, rows=[2], cols_per_chunk=1))
+        # j = 0 iteration of row i=2: A(2,k), B(k,0), C(2,0).
+        for k in range(n):
+            a_addr = spec.base("a") + curve.encode(2, k) * ELEM_BYTES
+            b_addr = spec.base("b") + curve.encode(k, 0) * ELEM_BYTES
+            assert chunk.addr[2 * k] == a_addr
+            assert chunk.addr[2 * k + 1] == b_addr
+        assert chunk.addr[2 * n] == spec.base("c") + curve.encode(2, 0) * ELEM_BYTES
+
+    def test_access_counts_per_matrix(self, spec8):
+        full = concat_chunks(list(naive_matmul_trace(spec8)))
+        n = 8
+        assert int((full.tag == TAG_A).sum()) == n**3
+        assert int((full.tag == TAG_B).sum()) == n**3
+        assert int((full.tag == TAG_C).sum()) == n**2
+
+    def test_mixed_layouts(self):
+        spec = MatmulTraceSpec(8, "rm", "mo", "ho")
+        total = sum(len(c) for c in naive_matmul_trace(spec))
+        assert total == trace_length(8)
+
+
+class TestValidation:
+    def test_bad_rows(self, spec8):
+        with pytest.raises(SimulationError):
+            list(naive_matmul_trace(spec8, rows=[8]))
+
+    def test_bad_chunk(self, spec8):
+        with pytest.raises(SimulationError):
+            list(naive_matmul_trace(spec8, cols_per_chunk=0))

@@ -1,0 +1,61 @@
+"""Synthetic trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    concat_chunks,
+    random_trace,
+    sequential_trace,
+    strided_trace,
+    working_set_loop_trace,
+)
+
+
+class TestSequential:
+    def test_addresses(self):
+        c = concat_chunks(list(sequential_trace(10, elem_bytes=8)))
+        np.testing.assert_array_equal(c.addr, np.arange(10) * 8)
+
+    def test_chunking(self):
+        chunks = list(sequential_trace(1000, chunk=256))
+        assert [len(c) for c in chunks] == [256, 256, 256, 232]
+
+    def test_base_offset(self):
+        c = concat_chunks(list(sequential_trace(4, base=4096)))
+        assert c.addr[0] == 4096
+
+
+class TestStrided:
+    def test_stride(self):
+        c = concat_chunks(list(strided_trace(5, stride_bytes=256)))
+        np.testing.assert_array_equal(np.diff(c.addr), 256)
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            list(strided_trace(5, stride_bytes=0))
+
+
+class TestRandom:
+    def test_footprint_respected(self):
+        c = concat_chunks(list(random_trace(10_000, footprint_bytes=1024)))
+        assert c.addr.max() < 1024
+
+    def test_reproducible(self):
+        a = concat_chunks(list(random_trace(100, 4096, seed=7)))
+        b = concat_chunks(list(random_trace(100, 4096, seed=7)))
+        np.testing.assert_array_equal(a.addr, b.addr)
+
+    def test_rejects_tiny_footprint(self):
+        with pytest.raises(ValueError):
+            list(random_trace(10, footprint_bytes=4))
+
+
+class TestWorkingSetLoop:
+    def test_total_accesses(self):
+        chunks = list(working_set_loop_trace(1024, passes=3))
+        assert sum(len(c) for c in chunks) == 3 * 128
+
+    def test_rejects_zero_passes(self):
+        with pytest.raises(ValueError):
+            list(working_set_loop_trace(1024, passes=0))

@@ -1,0 +1,90 @@
+"""Bit utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import bits
+
+
+class TestPredicates:
+    def test_is_pow2(self):
+        assert all(bits.is_pow2(1 << k) for k in range(20))
+        assert not any(bits.is_pow2(v) for v in (0, -1, 3, 6, 12, 1000))
+
+    def test_is_pow3(self):
+        assert all(bits.is_pow3(3**k) for k in range(12))
+        assert not any(bits.is_pow3(v) for v in (0, -3, 2, 6, 12))
+
+
+class TestLogs:
+    @given(st.integers(min_value=0, max_value=40))
+    def test_ilog2(self, k):
+        assert bits.ilog2(1 << k) == k
+
+    def test_ilog2_rejects_nonpow2(self):
+        with pytest.raises(ValueError):
+            bits.ilog2(6)
+
+    @given(st.integers(min_value=0, max_value=20))
+    def test_ilog3(self, k):
+        assert bits.ilog3(3**k) == k
+
+    def test_ilog3_rejects_nonpow3(self):
+        with pytest.raises(ValueError):
+            bits.ilog3(8)
+
+
+class TestCeilPow2:
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_bounds(self, n):
+        p = bits.ceil_pow2(n)
+        assert bits.is_pow2(p)
+        assert p >= n
+        assert p < 2 * n or n == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bits.ceil_pow2(0)
+
+
+class TestInterleave:
+    @given(
+        st.integers(min_value=0, max_value=2**16 - 1),
+        st.integers(min_value=0, max_value=2**16 - 1),
+    )
+    def test_roundtrip(self, major, minor):
+        d = bits.interleave_bits_naive(major, minor, 16)
+        assert bits.deinterleave_bits_naive(d, 16) == (major, minor)
+
+    def test_fig3_example(self):
+        # Paper Fig. 3: y=3 (0b011) major, x=5 (0b101) minor -> 0b011011.
+        assert bits.interleave_bits_naive(3, 5, 3) == 0b011011
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.interleave_bits_naive(-1, 0, 8)
+
+
+class TestReverseBitPairs:
+    def test_simple(self):
+        assert bits.reverse_bit_pairs(0b01_10_11, 3) == 0b11_10_01
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_involution(self, v):
+        assert bits.reverse_bit_pairs(bits.reverse_bit_pairs(v, 10), 10) == v
+
+
+class TestAsUint64:
+    def test_accepts_unsigned(self):
+        out = bits.as_uint64(np.array([1, 2], dtype=np.uint32))
+        assert out.dtype == np.uint64
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits.as_uint64(np.array([-1]))
+
+    def test_rejects_float(self):
+        with pytest.raises(ValueError):
+            bits.as_uint64(np.array([1.0]))

@@ -1,0 +1,46 @@
+"""Chunked-iteration helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.chunking import chunk_ranges, chunked
+
+
+class TestChunkRanges:
+    @given(
+        total=st.integers(min_value=0, max_value=10_000),
+        chunk=st.integers(min_value=1, max_value=997),
+    )
+    def test_covers_exactly(self, total, chunk):
+        ranges = list(chunk_ranges(total, chunk))
+        covered = [i for a, b in ranges for i in (a, b)]
+        if total == 0:
+            assert ranges == []
+        else:
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == total
+            for (a0, b0), (a1, b1) in zip(ranges, ranges[1:]):
+                assert b0 == a1
+            assert all(b - a <= chunk for a, b in ranges)
+            assert all(b > a for a, b in ranges)
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            list(chunk_ranges(10, 0))
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ValueError):
+            list(chunk_ranges(-1, 4))
+
+
+class TestChunked:
+    def test_numpy_roundtrip(self):
+        arr = np.arange(1000)
+        parts = list(chunked(arr, 64))
+        np.testing.assert_array_equal(np.concatenate(parts), arr)
+        assert all(len(p) <= 64 for p in parts)
+
+    def test_list(self):
+        assert list(chunked([1, 2, 3, 4, 5], 2)) == [[1, 2], [3, 4], [5]]

@@ -1,0 +1,55 @@
+"""Validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_dtype_integral,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_square_pow2,
+)
+
+
+class TestScalarChecks:
+    def test_positive(self):
+        check_positive(1.5, "x")
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0, "x")
+        with pytest.raises(ValueError):
+            check_positive(-1, "x")
+
+    def test_nonnegative(self):
+        check_nonnegative(0, "x")
+        with pytest.raises(ValueError):
+            check_nonnegative(-0.1, "x")
+
+    def test_in_range(self):
+        check_in_range(0.5, 0, 1, "x")
+        check_in_range(0, 0, 1, "x")
+        with pytest.raises(ValueError):
+            check_in_range(1.01, 0, 1, "x")
+
+
+class TestArrayChecks:
+    def test_square_pow2_ok(self):
+        assert check_square_pow2(np.zeros((8, 8))) == 8
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            check_square_pow2(np.zeros(8))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            check_square_pow2(np.zeros((4, 8)))
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError, match="pad_to_pow2"):
+            check_square_pow2(np.zeros((6, 6)))
+
+    def test_dtype_integral(self):
+        check_dtype_integral(np.zeros(3, dtype=np.int32), "x")
+        check_dtype_integral(np.zeros(3, dtype=np.uint64), "x")
+        with pytest.raises(ValueError):
+            check_dtype_integral(np.zeros(3), "x")
