@@ -52,6 +52,9 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--rows", type=int, default=5, help="sampled output rows")
     c.add_argument("--capacity-ratio", type=float, default=19.7,
                    help="working set / LL size (paper size 12: ~19.7)")
+    c.add_argument("--engine", choices=("exact", "fast"), default="exact",
+                   help="cache-simulation engine: reference per-access loop "
+                        "or the vectorized sim.fastcache (bit-identical)")
 
     a = sub.add_parser("atlas", help="tiled+tuned vs naive wall clock")
     a.add_argument("--side", type=int, default=128)
@@ -146,7 +149,7 @@ def _cmd_cachegrind(args) -> int:
 
     study = run_cachegrind_study(
         n=args.n, capacity_ratio=args.capacity_ratio, n_rows=args.rows,
-        schemes=("rm", "mo", "ho"),
+        schemes=("rm", "mo", "ho"), engine=args.engine,
     )
     print(study.summary())
     print()

@@ -90,6 +90,7 @@ def run_cachegrind_study(
     schemes: tuple[str, ...] = ("mo", "ho"),
     machine: MachineSpec | None = None,
     prefetch: str = "none",
+    engine: str = "exact",
 ) -> CachegrindStudyResult:
     """Run the study at the paper's capacity ratio.
 
@@ -106,7 +107,7 @@ def run_cachegrind_study(
         raise ExperimentError(f"sample rows out of range for n={n}")
     reports: dict[str, CachegrindReport] = {}
     for scheme in schemes:
-        sim = CachegrindSim(machine, prefetch=prefetch)
+        sim = CachegrindSim(machine, prefetch=prefetch, engine=engine)
         spec = MatmulTraceSpec.uniform(n, scheme)
         reports[scheme] = sim.run(naive_matmul_trace(spec, rows=rows))
     return CachegrindStudyResult(n=n, rows=rows, reports=reports)

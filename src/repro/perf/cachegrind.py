@@ -16,8 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.sim.cache import Cache
 from repro.sim.config import MachineSpec
+from repro.sim.fastcache import make_cache
 from repro.trace.events import TAG_NAMES, TraceChunk
 
 __all__ = ["TagReport", "CachegrindReport", "CachegrindSim"]
@@ -75,9 +75,11 @@ class CachegrindSim:
     study quantify how much a hardware prefetcher narrows the HO/MO gap.
     """
 
-    def __init__(self, machine: MachineSpec, prefetch: str = "none"):
-        self.d1 = Cache(machine.l1)
-        self.ll = Cache(machine.l3, prefetch=prefetch)
+    def __init__(
+        self, machine: MachineSpec, prefetch: str = "none", engine: str = "exact"
+    ):
+        self.d1 = make_cache(machine.l1, engine=engine)
+        self.ll = make_cache(machine.l3, prefetch=prefetch, engine=engine)
 
     def consume(self, chunk: TraceChunk) -> None:
         """Feed one trace chunk through D1 then LL."""

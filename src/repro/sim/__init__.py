@@ -10,6 +10,7 @@ from repro.sim.config import (
     scaled_machine,
 )
 from repro.sim.cache import Cache, CacheStats
+from repro.sim.fastcache import FastCache, make_cache
 from repro.sim.hierarchy import CoreHierarchy, HierarchyResult, SocketSim
 from repro.sim.multicore import (
     MulticoreTraceSim,
@@ -36,7 +37,12 @@ from repro.sim.energy import (
 from repro.sim.rapl import RAPL_ENERGY_UNIT_J, RaplCounter, unwrap_counter
 from repro.sim.powermeter import PowerMeter, WallReading
 from repro.sim.timeline import PowerPhase, PowerTimeline, run_timeline
-from repro.sim.stackdist import COLD, miss_curve, reuse_distances
+from repro.sim.stackdist import (
+    COLD,
+    miss_curve,
+    reuse_distances,
+    reuse_distances_fenwick,
+)
 from repro.sim.analytic import (
     DEFAULT_MISS_MODELS,
     MissModelParams,
@@ -56,6 +62,8 @@ __all__ = [
     "scaled_machine",
     "Cache",
     "CacheStats",
+    "FastCache",
+    "make_cache",
     "CoreHierarchy",
     "SocketSim",
     "HierarchyResult",
@@ -94,6 +102,7 @@ __all__ = [
     "PowerTimeline",
     "run_timeline",
     "reuse_distances",
+    "reuse_distances_fenwick",
     "miss_curve",
     "COLD",
 ]

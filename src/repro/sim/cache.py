@@ -27,9 +27,45 @@ from repro.errors import SimulationError
 from repro.sim.config import CacheSpec
 from repro.trace.events import TraceChunk
 
-__all__ = ["CacheStats", "Cache"]
+__all__ = ["CacheStats", "Cache", "finalize_chunk_stats"]
 
 _N_TAGS = 256
+
+
+def finalize_chunk_stats(
+    st: "CacheStats",
+    lines: np.ndarray,
+    is_write: np.ndarray,
+    tags: np.ndarray,
+    miss_idx: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fold one chunk's miss indices into ``st``; return the miss stream.
+
+    ``miss_idx`` must be ascending so the returned ``(miss_lines,
+    miss_is_write, miss_tags)`` stream preserves trace order for the next
+    level.  Shared by both simulation engines so their accounting is
+    identical by construction.
+    """
+    n = len(lines)
+    n_miss = len(miss_idx)
+    st.accesses += n
+    st.misses += n_miss
+    st.hits += n - n_miss
+    if n:
+        st.write_accesses += int(is_write.sum())
+        st.tag_accesses += np.bincount(tags, minlength=_N_TAGS)
+    if not n_miss:
+        # Zero-copy empty views keep dtypes without per-call allocations.
+        return lines[:0], is_write[:0], tags[:0]
+    miss_lines = lines[miss_idx]
+    miss_w = is_write[miss_idx]
+    miss_tags = tags[miss_idx]
+    wcount = int(miss_w.sum())
+    st.write_misses += wcount
+    st.read_misses += n_miss - wcount
+    st.tag_read_misses += np.bincount(miss_tags[~miss_w], minlength=_N_TAGS)
+    st.tag_write_misses += np.bincount(miss_tags[miss_w], minlength=_N_TAGS)
+    return miss_lines, miss_w, miss_tags
 
 
 @dataclass
@@ -129,6 +165,9 @@ class Cache:
             tags = np.zeros(n, dtype=np.uint8)
         elif len(tags) != n:
             raise SimulationError("lines and tags length mismatch")
+        if n == 0:
+            # Nothing to simulate: skip the tolist()/sum()/bincount work.
+            return lines[:0], is_write[:0], tags[:0]
 
         set_mask = self._set_mask
         assoc = self.spec.assoc
@@ -176,32 +215,12 @@ class Cache:
                 dirty.add(line)
 
         st = self.stats
-        st.accesses += n
-        st.write_accesses += int(is_write.sum())
-        st.misses += len(miss_idx)
-        st.hits += n - len(miss_idx)
         st.evictions += evictions
         st.writebacks += writebacks
         st.prefetches += prefetches
-        st.tag_accesses += np.bincount(tags, minlength=_N_TAGS)
-
-        if miss_idx:
-            mi = np.asarray(miss_idx, dtype=np.int64)
-            miss_lines = lines[mi]
-            miss_w = is_write[mi]
-            miss_tags = tags[mi]
-            wcount = int(miss_w.sum())
-            st.write_misses += wcount
-            st.read_misses += len(mi) - wcount
-            st.tag_read_misses += np.bincount(
-                miss_tags[~miss_w], minlength=_N_TAGS
-            )
-            st.tag_write_misses += np.bincount(
-                miss_tags[miss_w], minlength=_N_TAGS
-            )
-            return miss_lines, miss_w, miss_tags
-        empty = np.empty(0, dtype=lines.dtype)
-        return empty, np.empty(0, dtype=bool), np.empty(0, dtype=np.uint8)
+        return finalize_chunk_stats(
+            st, lines, is_write, tags, np.asarray(miss_idx, dtype=np.int64)
+        )
 
     def access_chunk(self, chunk: TraceChunk) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Byte-address convenience wrapper around :meth:`access_lines`."""

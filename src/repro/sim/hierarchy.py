@@ -21,8 +21,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.sim.cache import Cache, CacheStats
+from repro.sim.cache import CacheStats
 from repro.sim.config import MachineSpec
+from repro.sim.fastcache import make_cache
 from repro.trace.events import TraceChunk
 
 __all__ = ["CoreHierarchy", "SocketSim", "HierarchyResult"]
@@ -52,11 +53,11 @@ class HierarchyResult:
 class CoreHierarchy:
     """One core's private L1 and L2."""
 
-    def __init__(self, machine: MachineSpec):
+    def __init__(self, machine: MachineSpec, engine: str = "exact"):
         if machine.l1.line_bytes != machine.l2.line_bytes:
             raise SimulationError("L1/L2 line sizes must match")
-        self.l1 = Cache(machine.l1)
-        self.l2 = Cache(machine.l2)
+        self.l1 = make_cache(machine.l1, engine=engine)
+        self.l2 = make_cache(machine.l2, engine=engine)
 
     def access_chunk(self, chunk: TraceChunk):
         """Feed a chunk; returns the L2 miss stream (lines, is_write, tags)."""
@@ -77,7 +78,12 @@ class SocketSim:
     them in call order (the caller round-robins threads).
     """
 
-    def __init__(self, machine: MachineSpec, n_cores: int | None = None):
+    def __init__(
+        self,
+        machine: MachineSpec,
+        n_cores: int | None = None,
+        engine: str = "exact",
+    ):
         if machine.l2.line_bytes != machine.l3.line_bytes:
             raise SimulationError("L2/L3 line sizes must match")
         self.machine = machine
@@ -87,8 +93,8 @@ class SocketSim:
                 f"n_cores {self.n_cores} exceeds socket capacity "
                 f"{machine.cores_per_socket}"
             )
-        self.cores = [CoreHierarchy(machine) for _ in range(self.n_cores)]
-        self.l3 = Cache(machine.l3)
+        self.cores = [CoreHierarchy(machine, engine=engine) for _ in range(self.n_cores)]
+        self.l3 = make_cache(machine.l3, engine=engine)
         self.dram_lines = 0
 
     def access_chunk(self, core: int, chunk: TraceChunk) -> None:

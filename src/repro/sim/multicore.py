@@ -105,6 +105,7 @@ class MulticoreTraceSim:
         sockets_used: int = 1,
         cols_per_chunk: int = 64,
         schedule: str = "static",
+        engine: str = "exact",
     ):
         if schedule not in ("static", "cyclic"):
             raise SimulationError(
@@ -119,7 +120,8 @@ class MulticoreTraceSim:
         for s, c in self.placement.assignments:
             cores_needed[s] = max(cores_needed[s], c + 1)
         self.sockets = [
-            SocketSim(machine, n_cores=cores_needed[s]) for s in range(sockets_used)
+            SocketSim(machine, n_cores=cores_needed[s], engine=engine)
+            for s in range(sockets_used)
         ]
 
     def run(self, rows: list[int] | None = None) -> HierarchyResult:

@@ -75,3 +75,34 @@ def test_matches_fully_associative_cache(seed, cap):
     cache = Cache(CacheSpec("fa", cap * 64, 64, cap))  # fully associative
     cache.access_chunk(chunk)
     assert mattson == cache.stats.misses
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    universe=st.integers(min_value=1, max_value=96),
+    n=st.integers(min_value=0, max_value=500),
+)
+def test_vectorized_matches_fenwick(seed, universe, n):
+    """The offline NumPy pass must equal the Fenwick-tree oracle exactly."""
+    from repro.sim import reuse_distances_fenwick
+
+    rng = np.random.default_rng(seed)
+    addrs = rng.integers(0, universe, size=n, dtype=np.uint64) * 64
+    vec = reuse_distances(iter([TraceChunk.reads(addrs)]))
+    fen = reuse_distances_fenwick(iter([TraceChunk.reads(addrs)]))
+    np.testing.assert_array_equal(vec, fen)
+
+
+def test_fenwick_multi_chunk_agreement():
+    from repro.sim import reuse_distances_fenwick
+
+    rng = np.random.default_rng(3)
+    addrs = rng.integers(0, 40, size=600, dtype=np.uint64) * 32
+    chunks = [TraceChunk.reads(addrs[i : i + 150]) for i in range(0, 600, 150)]
+    vec = reuse_distances(iter(chunks), line_bytes=128)
+    fen = reuse_distances_fenwick(
+        [TraceChunk.reads(addrs[i : i + 150]) for i in range(0, 600, 150)],
+        line_bytes=128,
+    )
+    np.testing.assert_array_equal(vec, fen)
