@@ -8,6 +8,7 @@
 * ``fig6``       — Fig. 6 energy-vs-time series (8s/8d).
 * ``predict``    — one sample point (scheme/size/frequency/threads).
 * ``validate``   — evaluate the paper's findings; non-zero exit on failure.
+* ``sweep``      — parallel, disk-cached sweep of the 216-point grid.
 * ``cachegrind`` — the Section IV-A LL-miss study.
 * ``atlas``      — the tiled-vs-naive wall-clock comparison.
 * ``hardware``   — the future-work index-hardware study.
@@ -47,6 +48,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", default="8s",
                    help="thread config, e.g. 1s, 4s, 8s, 2d, 8d, 16d")
 
+    w = sub.add_parser(
+        "sweep",
+        help="sweep the full grid: sharded workers + on-disk result cache",
+    )
+    w.add_argument("--workers", type=int, default=None,
+                   help="process count (default: all CPUs)")
+    w.add_argument("--cache-dir", default=None,
+                   help="on-disk result cache root "
+                        "(default: $XDG_CACHE_HOME/sfc-repro/sweep)")
+    w.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk cache entirely")
+    w.add_argument("--resume", action="store_true",
+                   help="merge points already present in --output and "
+                        "only compute the rest")
+    w.add_argument("--output", default=None,
+                   help="write the swept ResultSet (.json or .csv)")
+    w.add_argument("--measure", choices=("model", "sampled"), default="model",
+                   help="energies straight from the model, or re-measured "
+                        "through the 10 Hz RAPL sampling chain")
+
     c = sub.add_parser("cachegrind", help="run the Section IV-A study")
     c.add_argument("--n", type=int, default=128, help="scaled problem side")
     c.add_argument("--rows", type=int, default=5, help="sampled output rows")
@@ -75,6 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
     r = sub.add_parser("report", help="full reproduction report (markdown)")
     r.add_argument("--output", default=None,
                    help="write to a file instead of stdout")
+    r.add_argument("--workers", type=int, default=None,
+                   help="run the grid through the parallel sweep engine")
+    r.add_argument("--cache-dir", default=None,
+                   help="sweep cache root (implies the sweep engine)")
     return parser
 
 
@@ -144,6 +169,53 @@ def _cmd_validate(_args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_sweep(args) -> int:
+    from pathlib import Path
+
+    from repro.experiments import ResultSet
+    from repro.experiments.sweep import SweepEngine, default_cache_dir
+
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+
+    resume_from = None
+    if args.resume and args.output and Path(args.output).exists():
+        out_path = Path(args.output)
+        resume_from = (
+            ResultSet.from_csv(out_path)
+            if out_path.suffix == ".csv"
+            else ResultSet.from_json(out_path)
+        )
+
+    engine = SweepEngine(
+        workers=args.workers,
+        cache_dir=cache_dir,
+        measure=args.measure,
+        progress=sys.stderr.isatty(),
+    )
+    results = engine.run(resume_from=resume_from)
+    stats = engine.stats
+    print(
+        f"swept {stats.points} points in {stats.seconds:.3f} s "
+        f"({stats.points_per_sec:,.0f} pts/s) — "
+        f"{stats.cache_hits} cache hits ({stats.cache_hit_rate:.0%}), "
+        f"{stats.resumed} resumed, {stats.shards} shards, "
+        f"{stats.workers} workers"
+    )
+    if cache_dir is not None:
+        print(f"cache: {engine.cache.dir}")
+        print(f"telemetry: {engine.log_path}")
+    if args.output:
+        out_path = Path(args.output)
+        if out_path.suffix == ".csv":
+            results.to_csv(out_path)
+        else:
+            results.to_json(out_path)
+        print(f"wrote {out_path}")
+    return 0
+
+
 def _cmd_cachegrind(args) -> int:
     from repro.experiments import run_cachegrind_study
 
@@ -207,7 +279,12 @@ def _cmd_roofline(_args) -> int:
 def _cmd_report(args) -> int:
     from repro.experiments import generate_report
 
-    text = generate_report()
+    sweep = None
+    if args.workers is not None or args.cache_dir is not None:
+        from repro.experiments.sweep import SweepEngine
+
+        sweep = SweepEngine(workers=args.workers, cache_dir=args.cache_dir)
+    text = generate_report(sweep=sweep)
     if args.output:
         from pathlib import Path
 
@@ -232,6 +309,7 @@ _COMMANDS = {
     "fig6": _cmd_fig6,
     "predict": _cmd_predict,
     "validate": _cmd_validate,
+    "sweep": _cmd_sweep,
     "cachegrind": _cmd_cachegrind,
     "atlas": _cmd_atlas,
     "hardware": _cmd_hardware,

@@ -11,6 +11,14 @@ from repro.experiments.configs import (
 )
 from repro.experiments.results import ResultSet, SampleResult
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.sweep import (
+    SweepCache,
+    SweepEngine,
+    SweepStats,
+    SweepTelemetry,
+    calibration_fingerprint,
+    sweep_grid,
+)
 from repro.experiments.tables import render_table4, table4_data
 from repro.experiments.figures import (
     DUAL_SOCKET_POINTS,
@@ -67,6 +75,12 @@ __all__ = [
     "SampleResult",
     "ResultSet",
     "ExperimentRunner",
+    "SweepCache",
+    "SweepEngine",
+    "SweepStats",
+    "SweepTelemetry",
+    "calibration_fingerprint",
+    "sweep_grid",
     "table4_data",
     "render_table4",
     "Series",

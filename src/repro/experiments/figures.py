@@ -13,6 +13,7 @@ from repro.experiments.configs import (
     SampleConfig,
 )
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.sweep import SweepEngine, resolve_runner
 
 __all__ = [
     "Series",
@@ -41,14 +42,17 @@ class Series:
 
 
 def fig4_speedup(
-    runner: ExperimentRunner | None = None, frequency="ondemand"
+    runner: ExperimentRunner | None = None,
+    frequency="ondemand",
+    sweep: SweepEngine | None = None,
 ) -> dict[int, list[Series]]:
     """Fig 4: parallel speedup of each scheme, one panel per size.
 
     Dual-socket configurations (as in the paper's shown panels); speedup is
-    against the scheme's own single-thread run.
+    against the scheme's own single-thread run.  ``sweep`` routes the grid
+    through the parallel cached engine first.
     """
-    runner = runner or ExperimentRunner()
+    runner = resolve_runner(runner, sweep)
     panels: dict[int, list[Series]] = {}
     for size in SIZE_EXPONENTS:
         series = []
@@ -63,10 +67,12 @@ def fig4_speedup(
 
 
 def fig5_frequency_speedup(
-    runner: ExperimentRunner | None = None, scheme: str = "rm"
+    runner: ExperimentRunner | None = None,
+    scheme: str = "rm",
+    sweep: SweepEngine | None = None,
 ) -> dict[int, list[Series]]:
     """Fig 5: RM speedup vs thread count, one line per fixed frequency."""
-    runner = runner or ExperimentRunner()
+    runner = resolve_runner(runner, sweep)
     panels: dict[int, list[Series]] = {}
     for size in SIZE_EXPONENTS:
         series = []
@@ -84,6 +90,7 @@ def fig6_energy_time(
     runner: ExperimentRunner | None = None,
     thread_configs: tuple[str, ...] = ("8s", "8d"),
     schemes: tuple[str, ...] = ("rm", "mo"),
+    sweep: SweepEngine | None = None,
 ) -> dict[tuple[str, int], list[Series]]:
     """Fig 6: energy [J] (x) vs execution time [s] (y) per RAPL domain.
 
@@ -93,7 +100,7 @@ def fig6_energy_time(
     the computational overheads of the HO cases are substantially larger"
     (Section IV-B).
     """
-    runner = runner or ExperimentRunner()
+    runner = resolve_runner(runner, sweep)
     panels: dict[tuple[str, int], list[Series]] = {}
     for tc in thread_configs:
         for size in SIZE_EXPONENTS:

@@ -81,10 +81,29 @@ class ResultSet:
             self.add(r)
 
     def add(self, result: SampleResult) -> None:
+        """Insert a result; idempotent for identical re-adds.
+
+        Re-adding the exact same measurements for a key is a no-op (so
+        cached reruns and shard merges compose); *different* measurements
+        for the same key still raise — that always indicates a bug.
+        """
         key = result.config.key
-        if key in self._by_key:
-            raise ExperimentError(f"duplicate result for {key}")
+        existing = self._by_key.get(key)
+        if existing is not None:
+            if existing == result:
+                return
+            raise ExperimentError(f"conflicting duplicate result for {key}")
         self._by_key[key] = result
+
+    def merge(self, other: "ResultSet") -> "ResultSet":
+        """Union ``other`` into this set (idempotent adds) and return self.
+
+        Shards of a sweep and resumed partial runs overlap freely; equal
+        results dedupe, conflicting ones raise.
+        """
+        for r in other:
+            self.add(r)
+        return self
 
     def get(self, config: SampleConfig) -> SampleResult:
         try:
@@ -135,3 +154,18 @@ class ResultSet:
             writer = csv.DictWriter(fh, fieldnames=sorted(rows[0]))
             writer.writeheader()
             writer.writerows(rows)
+
+    @classmethod
+    def from_csv(cls, path: str | Path) -> "ResultSet":
+        """Read a :meth:`to_csv` file back (the JSON round-trip's twin).
+
+        CSV carries everything as strings; :meth:`SampleResult.from_dict`
+        already distinguishes numeric frequencies from governor names
+        (``"2.6"`` vs ``"ondemand"``), so rows feed through it unchanged.
+        An empty file (what :meth:`to_csv` writes for an empty set) reads
+        back as an empty set.
+        """
+        if not Path(path).read_text().strip():
+            return cls()
+        with open(path, newline="") as fh:
+            return cls([SampleResult.from_dict(row) for row in csv.DictReader(fh)])

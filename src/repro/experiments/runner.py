@@ -18,9 +18,21 @@ __all__ = ["ExperimentRunner"]
 class ExperimentRunner:
     """Runs sample points through the performance model, with caching."""
 
-    def __init__(self, model: PerformanceModel | None = None):
+    def __init__(
+        self,
+        model: PerformanceModel | None = None,
+        results: ResultSet | None = None,
+    ):
         self.model = model or PerformanceModel()
         self._cache = ResultSet()
+        if results is not None:
+            self._cache.merge(results)
+
+    def prime(self, results: ResultSet) -> None:
+        """Seed the memo cache with already-computed results (e.g. from a
+        :mod:`repro.experiments.sweep` run), so table/figure generators
+        walking the grid point-by-point never recompute them."""
+        self._cache.merge(results)
 
     def run(self, config: SampleConfig) -> SampleResult:
         """Evaluate one sample point (cached)."""
@@ -48,7 +60,12 @@ class ExperimentRunner:
         return result
 
     def run_grid(self, configs: list[SampleConfig] | None = None) -> ResultSet:
-        """Evaluate a list of points (default: all 216) and return them."""
+        """Evaluate a list of points (default: all 216) and return them.
+
+        Repeated configs dedupe to one result (the memoized run returns
+        the identical object, which :meth:`ResultSet.add` accepts
+        idempotently) instead of raising.
+        """
         out = ResultSet()
         for cfg in configs or full_grid():
             out.add(self.run(cfg))

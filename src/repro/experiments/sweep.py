@@ -1,0 +1,594 @@
+"""Sharded, multi-process, disk-cached experiment sweeps.
+
+The serial :meth:`~repro.experiments.runner.ExperimentRunner.run_grid`
+walks the 216-point Table III grid in one process and keeps results only
+in memory.  This module is the scale-out engine behind the tables, the
+figures and the report:
+
+* **Sharding** — sample points are partitioned into contiguous shards
+  executed on a :class:`concurrent.futures.ProcessPoolExecutor` (worker
+  count configurable, default ``os.cpu_count()``), with a per-shard
+  timeout and retry-with-exponential-backoff.
+* **On-disk cache** — results land in a content-addressed cache keyed by
+  the sample point's config key *and* a stable hash of the analytic
+  model's calibration parameters (:func:`calibration_fingerprint`), so a
+  recalibrated model invalidates cleanly while reruns and resumed sweeps
+  are served from disk.  Writes are atomic (tmp file + ``os.replace``)
+  and the per-entry schema is versioned.
+* **Telemetry** — a JSON-lines event log (sweep/shard lifecycle,
+  points/s, shard latencies, cache hit rate) plus an optional live
+  stderr progress line.
+
+Results compose through :meth:`ResultSet.merge` (idempotent adds), and a
+sweep over the same model is bit-identical to the serial runner: workers
+evaluate the very same :class:`PerformanceModel` arithmetic, and the
+output set is assembled in input order.
+
+The optional ``measure="sampled"`` mode re-measures every modelled run
+through the paper's RAPL chain (quantized wrapping counters sampled at
+10 Hz, trapezoidal integration — :mod:`repro.perf.sampling`), which is
+orders of magnitude heavier per point and is what the disk cache and the
+process pool exist for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.experiments.configs import SampleConfig, full_grid
+from repro.experiments.results import ResultSet, SampleResult
+from repro.experiments.runner import ExperimentRunner
+from repro.sim.analytic import PerformanceModel
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "MEASURE_MODES",
+    "SweepCache",
+    "SweepEngine",
+    "SweepStats",
+    "SweepTelemetry",
+    "calibration_fingerprint",
+    "default_cache_dir",
+    "resolve_runner",
+    "sweep_grid",
+]
+
+#: Bump when the on-disk per-entry layout changes; older entries are
+#: treated as misses and rewritten.
+CACHE_SCHEMA_VERSION = 1
+
+#: Supported per-point measurement modes.
+MEASURE_MODES = ("model", "sampled")
+
+#: Shards per worker per generation — small enough to amortize IPC,
+#: large enough that an uneven shard does not serialize the tail.
+_SHARDS_PER_WORKER = 4
+
+
+def default_cache_dir() -> Path:
+    """``$XDG_CACHE_HOME``- (or ``~/.cache``-) rooted sweep cache."""
+    root = os.environ.get("XDG_CACHE_HOME") or (Path.home() / ".cache")
+    return Path(root) / "sfc-repro" / "sweep"
+
+
+#: Evaluated lazily by the CLI so tests can point it elsewhere.
+DEFAULT_CACHE_DIR = default_cache_dir()
+
+
+def calibration_fingerprint(model: PerformanceModel) -> str:
+    """Stable hash of everything that determines a model's predictions.
+
+    Machine spec, per-scheme miss-curve parameters and the two overlap/
+    bandwidth calibration scalars are serialized to canonical JSON and
+    hashed; any recalibration — even one plateau nudged — changes the
+    fingerprint and therefore the cache address of every sample point.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "machine": asdict(model.machine),
+        "miss_models": {k: asdict(v) for k, v in sorted(model.miss_models.items())},
+        "overlap_residual": model.overlap_residual,
+        "multi_socket_bw_efficiency": model.multi_socket_bw_efficiency,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -- on-disk cache -------------------------------------------------------------
+
+
+class SweepCache:
+    """Content-addressed result cache: one JSON file per sample point.
+
+    Layout: ``<root>/v<schema>/<fingerprint[:16]>/<measure>/<key>.json``.
+    Each entry embeds the schema version and the *full* fingerprint; a
+    mismatch (or an unreadable file) is a miss, never an error.
+    """
+
+    def __init__(self, root: str | Path, fingerprint: str, measure: str = "model"):
+        self.fingerprint = fingerprint
+        self.dir = (
+            Path(root)
+            / f"v{CACHE_SCHEMA_VERSION}"
+            / fingerprint[:16]
+            / measure
+        )
+
+    def _path(self, config: SampleConfig) -> Path:
+        return self.dir / f"{config.key}.json"
+
+    def get(self, config: SampleConfig) -> SampleResult | None:
+        try:
+            payload = json.loads(self._path(config).read_text())
+            if (
+                payload.get("schema") != CACHE_SCHEMA_VERSION
+                or payload.get("fingerprint") != self.fingerprint
+            ):
+                return None
+            result = SampleResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError):
+            return None
+        if result.config.key != config.key:
+            return None
+        return result
+
+    def put(self, result: SampleResult) -> None:
+        self.dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "result": result.to_dict(),
+        }
+        path = self._path(result.config)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+
+
+# -- telemetry -----------------------------------------------------------------
+
+
+@dataclass
+class SweepStats:
+    """Aggregate counters of one sweep invocation."""
+
+    points: int = 0
+    cache_hits: int = 0
+    shards: int = 0
+    retries: int = 0
+    resumed: int = 0
+    seconds: float = 0.0
+    workers: int = 1
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.points if self.points else 0.0
+
+    @property
+    def points_per_sec(self) -> float:
+        return self.points / self.seconds if self.seconds > 0 else 0.0
+
+
+class SweepTelemetry:
+    """Structured progress stream: JSON-lines log + live stderr line."""
+
+    def __init__(
+        self,
+        log_path: str | Path | None = None,
+        progress: bool = False,
+        stream=None,
+    ):
+        self.log_path = Path(log_path) if log_path else None
+        self.progress = progress
+        self.stream = stream if stream is not None else sys.stderr
+        self._t0 = time.monotonic()
+        self._fh = None
+        if self.log_path:
+            self.log_path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.log_path, "a")
+
+    def event(self, name: str, /, **fields) -> None:
+        if self._fh is None:
+            return
+        record = {"event": name, "elapsed_s": round(time.monotonic() - self._t0, 6)}
+        record.update(fields)
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def progress_line(self, done: int, total: int, stats: SweepStats) -> None:
+        if not self.progress:
+            return
+        elapsed = time.monotonic() - self._t0
+        pps = done / elapsed if elapsed > 0 else 0.0
+        pct = 100.0 * done / total if total else 100.0
+        self.stream.write(
+            f"\rsweep: {done}/{total} points ({pct:5.1f}%)  "
+            f"{pps:10.1f} pts/s  cache hits {stats.cache_hits}"
+        )
+        self.stream.flush()
+
+    def close(self) -> None:
+        if self.progress:
+            self.stream.write("\n")
+            self.stream.flush()
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# -- worker side ---------------------------------------------------------------
+
+_worker_state: dict = {}
+
+
+def _init_worker(model: PerformanceModel, measure: str, sample_hz: float) -> None:
+    _worker_state["runner"] = ExperimentRunner(model)
+    _worker_state["measure"] = measure
+    _worker_state["sample_hz"] = sample_hz
+
+
+def _measured_result(result: SampleResult, sample_hz: float) -> SampleResult:
+    """Re-measure a modelled run through the paper's RAPL chain.
+
+    Each energy domain's modelled draw is exposed as a quantized wrapping
+    counter, sampled at ``sample_hz``, unwrapped, and integrated with the
+    trapezoidal rule — so swept energies carry the measurement chain's
+    quantization and end effects exactly like the paper's numbers did.
+    """
+    from dataclasses import replace
+
+    from repro.perf.sampling import power_from_samples, sample_rapl_counter
+
+    duration = result.seconds
+
+    def chain(joules: float) -> float:
+        if joules <= 0:
+            return joules
+        power = joules / duration
+        ts, raw = sample_rapl_counter(
+            lambda t: power, duration_s=duration, sample_hz=sample_hz
+        )
+        if len(ts) < 3:  # too short for a midpoint log; keep the model value
+            return joules
+        return power_from_samples(ts, raw).energy_j
+
+    return replace(
+        result,
+        package_j=chain(result.package_j),
+        pp0_j=chain(result.pp0_j),
+        dram_j=chain(result.dram_j),
+    )
+
+
+def _evaluate_shard(
+    shard: list[SampleConfig],
+    runner: ExperimentRunner,
+    measure: str,
+    sample_hz: float,
+) -> list[SampleResult]:
+    out = [runner.run(cfg) for cfg in shard]
+    if measure == "sampled":
+        out = [_measured_result(r, sample_hz) for r in out]
+    return out
+
+
+def _pool_run_shard(shard: list[SampleConfig]) -> list[SampleResult]:
+    return _evaluate_shard(
+        shard,
+        _worker_state["runner"],
+        _worker_state["measure"],
+        _worker_state["sample_hz"],
+    )
+
+
+# -- engine --------------------------------------------------------------------
+
+
+@dataclass
+class _ShardJob:
+    index: int
+    configs: list[SampleConfig]
+    attempts: int = 0
+    results: list[SampleResult] | None = None
+
+
+class SweepEngine:
+    """Parallel, cached execution of experiment grids.
+
+    Parameters
+    ----------
+    model:
+        The analytic model to evaluate (default: shipped calibration).
+    workers:
+        Process count; ``None`` means ``os.cpu_count()``.  ``workers <= 1``
+        runs shards in-process (same sharding, telemetry and cache).
+    shard_size:
+        Points per shard; default balances ``workers * 4`` shards.
+    cache_dir:
+        Root of the on-disk cache; ``None`` disables disk caching.
+    measure:
+        ``"model"`` returns the analytic energies (bit-identical to the
+        serial runner); ``"sampled"`` re-measures each point through the
+        10 Hz RAPL sampling chain.
+    timeout_s:
+        Per-shard wall-clock budget (pool mode only).  A timed-out
+        shard's stragglers are abandoned by respawning the pool, and the
+        shard is retried.
+    retries:
+        Extra attempts per shard after a failure or timeout.
+    backoff_s:
+        Base of the exponential backoff between retry generations.
+    """
+
+    def __init__(
+        self,
+        model: PerformanceModel | None = None,
+        workers: int | None = None,
+        shard_size: int | None = None,
+        cache_dir: str | Path | None = None,
+        measure: str = "model",
+        sample_hz: float = 10.0,
+        timeout_s: float | None = None,
+        retries: int = 2,
+        backoff_s: float = 0.25,
+        log_path: str | Path | None = None,
+        progress: bool = False,
+    ):
+        if measure not in MEASURE_MODES:
+            raise ExperimentError(
+                f"unknown measure mode {measure!r}; have {MEASURE_MODES}"
+            )
+        if retries < 0:
+            raise ExperimentError("retries must be >= 0")
+        self.model = model or PerformanceModel()
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ExperimentError("workers must be >= 1")
+        self.shard_size = shard_size
+        self.measure = measure
+        self.sample_hz = sample_hz
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.progress = progress
+        self.fingerprint = calibration_fingerprint(self.model)
+        self.cache = (
+            SweepCache(cache_dir, self.fingerprint, measure) if cache_dir else None
+        )
+        if log_path is None and cache_dir is not None:
+            log_path = Path(cache_dir) / "telemetry.jsonl"
+        self.log_path = log_path
+        self.stats = SweepStats()
+
+    # -- public API ------------------------------------------------------------
+
+    def run(
+        self,
+        configs: list[SampleConfig] | None = None,
+        resume_from: ResultSet | None = None,
+    ) -> ResultSet:
+        """Sweep ``configs`` (default: the full 216-point grid).
+
+        ``resume_from`` merges an earlier (partial) result set: its points
+        are skipped, counted as resumed, and included in the output.
+        """
+        configs = list(configs) if configs is not None else full_grid()
+        telemetry = SweepTelemetry(self.log_path, progress=self.progress)
+        stats = self.stats = SweepStats(workers=self.workers)
+        t0 = time.monotonic()
+        by_key: dict[str, SampleResult] = {}
+        # Dedupe repeated configs up front: shards never see the same key
+        # twice, and the output assembly below is idempotent anyway.
+        unique: dict[str, SampleConfig] = {}
+        for cfg in configs:
+            unique.setdefault(cfg.key, cfg)
+        stats.points = len(unique)
+
+        if resume_from is not None:
+            for r in resume_from:
+                if r.config.key in unique and r.config.key not in by_key:
+                    by_key[r.config.key] = r
+                    stats.resumed += 1
+
+        misses: list[SampleConfig] = []
+        for key, cfg in unique.items():
+            if key in by_key:
+                continue
+            cached = self.cache.get(cfg) if self.cache else None
+            if cached is not None:
+                by_key[key] = cached
+                stats.cache_hits += 1
+            else:
+                misses.append(cfg)
+
+        shards = self._partition(misses)
+        stats.shards = len(shards)
+        telemetry.event(
+            "sweep_start",
+            points=stats.points,
+            cached=stats.cache_hits,
+            resumed=stats.resumed,
+            shards=len(shards),
+            workers=self.workers,
+            measure=self.measure,
+            fingerprint=self.fingerprint,
+        )
+        telemetry.progress_line(len(by_key), stats.points, stats)
+
+        if shards:
+            jobs = [_ShardJob(i, shard) for i, shard in enumerate(shards)]
+            if self.workers == 1:
+                self._run_serial(jobs, telemetry, stats, by_key)
+            else:
+                self._run_pool(jobs, telemetry, stats, by_key)
+
+        stats.seconds = time.monotonic() - t0
+        telemetry.event(
+            "sweep_end",
+            points=stats.points,
+            seconds=round(stats.seconds, 6),
+            points_per_sec=round(stats.points_per_sec, 2),
+            cache_hits=stats.cache_hits,
+            cache_hit_rate=round(stats.cache_hit_rate, 4),
+            retries=stats.retries,
+        )
+        telemetry.close()
+
+        out = ResultSet()
+        for cfg in configs:  # input order — identical to the serial runner
+            out.add(by_key[cfg.key])
+        return out
+
+    def primed_runner(
+        self, configs: list[SampleConfig] | None = None
+    ) -> ExperimentRunner:
+        """Sweep the grid, then return a runner pre-seeded with the
+        results: point-by-point artifact generators hit only its memo."""
+        results = self.run(configs)
+        return ExperimentRunner(self.model, results=results)
+
+    # -- internals -------------------------------------------------------------
+
+    def _partition(self, configs: list[SampleConfig]) -> list[list[SampleConfig]]:
+        if not configs:
+            return []
+        size = self.shard_size
+        if size is None:
+            size = max(1, -(-len(configs) // (self.workers * _SHARDS_PER_WORKER)))
+        return [configs[i : i + size] for i in range(0, len(configs), size)]
+
+    def _record_shard(self, job, seconds, attempt, telemetry, stats, by_key):
+        for r in job.results:
+            by_key[r.config.key] = r
+            if self.cache:
+                self.cache.put(r)
+        telemetry.event(
+            "shard_done",
+            shard=job.index,
+            points=len(job.configs),
+            seconds=round(seconds, 6),
+            attempt=attempt,
+        )
+        done = len(by_key)
+        telemetry.progress_line(done, stats.points, stats)
+
+    def _retry_or_raise(self, job, exc, telemetry, stats) -> None:
+        job.attempts += 1
+        stats.retries += 1
+        kind = "timeout" if isinstance(exc, FuturesTimeout) else "error"
+        if job.attempts > self.retries:
+            telemetry.event(
+                "shard_failed", shard=job.index, attempts=job.attempts, kind=kind,
+                detail=str(exc),
+            )
+            telemetry.close()
+            raise ExperimentError(
+                f"shard {job.index} failed after {job.attempts} attempts: "
+                f"{kind}: {exc}"
+            ) from (None if isinstance(exc, FuturesTimeout) else exc)
+        backoff = self.backoff_s * (2 ** (job.attempts - 1))
+        telemetry.event(
+            "shard_retry", shard=job.index, attempt=job.attempts, kind=kind,
+            backoff_s=round(backoff, 3), detail=str(exc),
+        )
+        if backoff > 0:
+            time.sleep(backoff)
+
+    def _run_serial(self, jobs, telemetry, stats, by_key) -> None:
+        runner = ExperimentRunner(self.model)
+        for job in jobs:
+            while True:
+                t0 = time.monotonic()
+                try:
+                    job.results = _evaluate_shard(
+                        job.configs, runner, self.measure, self.sample_hz
+                    )
+                except Exception as exc:
+                    self._retry_or_raise(job, exc, telemetry, stats)
+                    continue
+                self._record_shard(
+                    job, time.monotonic() - t0, job.attempts + 1, telemetry,
+                    stats, by_key,
+                )
+                break
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(self.model, self.measure, self.sample_hz),
+        )
+
+    def _run_pool(self, jobs, telemetry, stats, by_key) -> None:
+        pending = list(jobs)
+        executor = self._new_pool()
+        try:
+            while pending:
+                futures = [
+                    (job, executor.submit(_pool_run_shard, job.configs))
+                    for job in pending
+                ]
+                failed: list[_ShardJob] = []
+                respawn = False
+                for pos, (job, fut) in enumerate(futures):
+                    if respawn:
+                        # The pool was torn down to abandon a stuck shard;
+                        # everything unharvested rides into the next
+                        # generation without a retry penalty.
+                        failed.append(job)
+                        continue
+                    t0 = time.monotonic()
+                    try:
+                        job.results = fut.result(timeout=self.timeout_s)
+                    except FuturesTimeout as exc:
+                        executor.shutdown(wait=False, cancel_futures=True)
+                        executor = self._new_pool()
+                        respawn = True
+                        self._retry_or_raise(job, exc, telemetry, stats)
+                        failed.append(job)
+                    except Exception as exc:
+                        self._retry_or_raise(job, exc, telemetry, stats)
+                        failed.append(job)
+                    else:
+                        self._record_shard(
+                            job, time.monotonic() - t0, job.attempts + 1,
+                            telemetry, stats, by_key,
+                        )
+                pending = failed
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+
+def sweep_grid(
+    configs: list[SampleConfig] | None = None,
+    model: PerformanceModel | None = None,
+    **engine_kwargs,
+) -> ResultSet:
+    """One-shot convenience: ``SweepEngine(model, **kwargs).run(configs)``."""
+    return SweepEngine(model=model, **engine_kwargs).run(configs)
+
+
+def resolve_runner(
+    runner: ExperimentRunner | None, sweep: "SweepEngine | None" = None
+) -> ExperimentRunner:
+    """The runner an artifact generator should use.
+
+    An explicit runner wins; otherwise a given sweep engine executes the
+    full grid (parallel, cached) and hands back a primed runner; failing
+    both, a fresh serial runner.
+    """
+    if runner is not None:
+        return runner
+    if sweep is not None:
+        return sweep.primed_runner()
+    return ExperimentRunner()

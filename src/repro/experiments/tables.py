@@ -13,6 +13,7 @@ from repro.experiments.configs import (
     SampleConfig,
 )
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.sweep import SweepEngine, resolve_runner
 
 __all__ = ["table4_data", "render_table4"]
 
@@ -24,9 +25,15 @@ def _freq_label(freq) -> str:
     return "od" if isinstance(freq, str) else f"{freq:.1f}"
 
 
-def table4_data(runner: ExperimentRunner | None = None) -> dict:
-    """Nested dict: ``data[scheme][size][freq_label][thread_config] -> s``."""
-    runner = runner or ExperimentRunner()
+def table4_data(
+    runner: ExperimentRunner | None = None, sweep: SweepEngine | None = None
+) -> dict:
+    """Nested dict: ``data[scheme][size][freq_label][thread_config] -> s``.
+
+    With ``sweep``, the grid is executed by the parallel cached engine
+    and the cell loop below only reads the primed memo.
+    """
+    runner = resolve_runner(runner, sweep)
     data: dict = {}
     for scheme in SCHEMES:
         data[scheme] = {}
@@ -41,9 +48,11 @@ def table4_data(runner: ExperimentRunner | None = None) -> dict:
     return data
 
 
-def render_table4(runner: ExperimentRunner | None = None) -> str:
+def render_table4(
+    runner: ExperimentRunner | None = None, sweep: SweepEngine | None = None
+) -> str:
     """Text rendering in the paper's Table IV layout."""
-    data = table4_data(runner)
+    data = table4_data(runner, sweep)
     lines = ["TABLE IV — ABSOLUTE EXECUTION TIMES [s] (modelled)", ""]
     for scheme in SCHEMES:
         lines.append(f"{scheme.upper():3s}        Single Socket           Dual Socket")

@@ -24,6 +24,22 @@ __all__ = ["PowerLog", "sample_rapl_counter", "trapezoid_energy", "power_from_sa
 DEFAULT_SAMPLE_HZ = 10.0
 
 
+def _resolve_trapezoid(ns=np):
+    """Pick the trapezoidal integrator available in this NumPy.
+
+    ``np.trapezoid`` arrived in NumPy 2.0 and ``np.trapz`` was removed in
+    the same release, while the project supports ``numpy>=1.24`` — so
+    neither name can be referenced unconditionally.
+    """
+    fn = getattr(ns, "trapezoid", None) or getattr(ns, "trapz", None)
+    if fn is None:  # pragma: no cover - no known NumPy lacks both
+        raise SimulationError("NumPy provides neither trapezoid nor trapz")
+    return fn
+
+
+_trapezoid = _resolve_trapezoid()
+
+
 @dataclass(frozen=True)
 class PowerLog:
     """Timestamped power estimates (one RAPL domain)."""
@@ -58,16 +74,22 @@ def sample_rapl_counter(
         raise SimulationError("duration and sample rate must be positive")
     counter = RaplCounter(unit_j)
     dt = 1.0 / sample_hz
-    n_samples = int(np.floor(duration_s / dt)) + 1
-    timestamps = np.arange(n_samples) * dt
-    raw = np.empty(n_samples, dtype=np.int64)
+    n_ticks = int(np.floor(duration_s / dt + 1e-9))
+    ticks = [i * dt for i in range(n_ticks + 1)]
+    # The run does not end on a sample tick in general: close the log with
+    # a final read at duration_s so the trailing partial interval's energy
+    # is deposited rather than silently dropped.
+    if duration_s - ticks[-1] > 1e-9 * max(1.0, duration_s):
+        ticks.append(duration_s)
+    timestamps = np.asarray(ticks, dtype=np.float64)
+    raw = np.empty(len(ticks), dtype=np.int64)
     raw[0] = counter.read()
     substeps = 16
-    for i in range(1, n_samples):
-        t0 = timestamps[i - 1]
+    for i in range(1, len(ticks)):
+        t0 = ticks[i - 1]
+        h = (ticks[i] - t0) / substeps
         for k in range(substeps):
-            tm = t0 + (k + 0.5) * dt / substeps
-            counter.deposit(power_fn(tm) * dt / substeps)
+            counter.deposit(power_fn(t0 + (k + 0.5) * h) * h)
         raw[i] = counter.read()
     return timestamps, raw
 
@@ -104,4 +126,4 @@ def trapezoid_energy(timestamps_s: np.ndarray, power_w: np.ndarray) -> float:
         raise SimulationError("timestamps and power arrays differ in length")
     if len(ts) < 2:
         return 0.0
-    return float(np.trapezoid(pw, ts))
+    return float(_trapezoid(pw, ts))

@@ -37,10 +37,34 @@ class TestResultSet:
         assert sample.config in rs
         assert len(rs) == 1
 
-    def test_duplicate_rejected(self, sample):
+    def test_identical_readd_is_idempotent(self, sample):
         rs = ResultSet([sample])
+        rs.add(sample)  # same measurements: no-op, not an error
+        assert len(rs) == 1
+
+    def test_conflicting_duplicate_rejected(self, sample):
+        rs = ResultSet([sample])
+        from dataclasses import replace
+
         with pytest.raises(ExperimentError):
-            rs.add(sample)
+            rs.add(replace(sample, seconds=sample.seconds * 2))
+
+    def test_merge_dedupes_and_unions(self, sample):
+        other_cfg = SampleConfig("rm", 11, 1.2, "1s")
+        other = SampleResult(other_cfg, 2, 1.2, 1, 1, 1, 1, 1, 1)
+        a = ResultSet([sample])
+        b = ResultSet([sample, other])  # overlaps a on sample's key
+        assert a.merge(b) is a
+        assert len(a) == 2
+        assert a.get(other_cfg) == other
+
+    def test_merge_conflict_raises(self, sample):
+        from dataclasses import replace
+
+        a = ResultSet([sample])
+        b = ResultSet([replace(sample, seconds=99.0)])
+        with pytest.raises(ExperimentError):
+            a.merge(b)
 
     def test_missing_rejected(self, sample):
         rs = ResultSet()
@@ -73,3 +97,48 @@ class TestResultSet:
         path = tmp_path / "empty.csv"
         ResultSet().to_csv(path)
         assert path.read_text() == ""
+
+
+class TestRoundTrips:
+    """to_csv finally has a from_csv twin; both formats round-trip."""
+
+    def _grid_set(self):
+        runner = ExperimentRunner()
+        cfgs = [
+            SampleConfig("mo", 10, 2.6, "4s"),
+            SampleConfig("rm", 11, "ondemand", "8d"),  # string frequency
+            SampleConfig("ho", 12, 1.2, "16d"),
+        ]
+        return runner.run_grid(cfgs)
+
+    def test_csv_roundtrip(self, tmp_path):
+        rs = self._grid_set()
+        path = tmp_path / "results.csv"
+        rs.to_csv(path)
+        back = ResultSet.from_csv(path)
+        assert len(back) == len(rs)
+        for r in rs:
+            assert back.get(r.config) == r
+
+    def test_json_roundtrip(self, tmp_path):
+        rs = self._grid_set()
+        path = tmp_path / "results.json"
+        rs.to_json(path)
+        back = ResultSet.from_json(path)
+        for r in rs:
+            assert back.get(r.config) == r
+
+    def test_empty_roundtrips(self, tmp_path):
+        ResultSet().to_csv(tmp_path / "e.csv")
+        ResultSet().to_json(tmp_path / "e.json")
+        assert len(ResultSet.from_csv(tmp_path / "e.csv")) == 0
+        assert len(ResultSet.from_json(tmp_path / "e.json")) == 0
+
+    def test_csv_preserves_ondemand_vs_numeric_frequency(self, tmp_path):
+        rs = self._grid_set()
+        path = tmp_path / "freq.csv"
+        rs.to_csv(path)
+        back = ResultSet.from_csv(path)
+        freqs = sorted(str(r.config.frequency) for r in back)
+        assert "ondemand" in freqs
+        assert any(isinstance(r.config.frequency, float) for r in back)

@@ -56,3 +56,22 @@ class TestGridSweep:
         cfgs = full_grid()[:10]
         rs = runner.run_grid(cfgs)
         assert len(rs) == 10
+
+    def test_repeated_configs_dedupe(self, runner):
+        # Regression: this used to raise "duplicate result for
+        # rm-10-2600MHz-1s" because the cached result was re-added.
+        cfg = SampleConfig("rm", 10, 2.6, "1s")
+        rs = runner.run_grid([cfg, cfg, cfg])
+        assert len(rs) == 1
+        assert rs.get(cfg) is runner.run(cfg)
+
+    def test_primed_runner_skips_model(self):
+        base = ExperimentRunner()
+        cfgs = full_grid()[:5]
+        swept = base.run_grid(cfgs)
+        primed = ExperimentRunner(results=swept)
+        for cfg in cfgs:
+            assert primed.run(cfg) == base.run(cfg)
+        also = ExperimentRunner()
+        also.prime(swept)
+        assert also.run(cfgs[0]) == base.run(cfgs[0])

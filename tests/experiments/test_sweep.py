@@ -1,0 +1,291 @@
+"""Sharded parallel sweep engine: cache, telemetry, retries, equivalence."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentRunner, SampleConfig, full_grid
+from repro.experiments.sweep import (
+    CACHE_SCHEMA_VERSION,
+    SweepCache,
+    SweepEngine,
+    calibration_fingerprint,
+    resolve_runner,
+    sweep_grid,
+)
+from repro.sim.analytic import DEFAULT_MISS_MODELS, PerformanceModel
+
+
+SMALL_GRID = full_grid()[:12]
+
+
+class FlakyModel(PerformanceModel):
+    """Raises on a marked config until a countdown file burns down —
+    exercises the retry path (the countdown survives across attempts)."""
+
+    def __init__(self, marker_path, failures=1):
+        super().__init__()
+        self.marker_path = str(marker_path)
+        self.failures = failures
+
+    def predict(self, scheme, n, governor, threads, sockets_used):
+        if scheme == "ho":
+            from pathlib import Path
+
+            p = Path(self.marker_path)
+            burned = int(p.read_text()) if p.exists() else 0
+            if burned < self.failures:
+                p.write_text(str(burned + 1))
+                raise RuntimeError("transient failure")
+        return super().predict(scheme, n, governor, threads, sockets_used)
+
+
+class SleepyModel(PerformanceModel):
+    """Stalls on HO configs — exercises the pool timeout/respawn path."""
+
+    def predict(self, scheme, n, governor, threads, sockets_used):
+        if scheme == "ho":
+            import time
+
+            time.sleep(3.0)
+        return super().predict(scheme, n, governor, threads, sockets_used)
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert calibration_fingerprint(PerformanceModel()) == calibration_fingerprint(
+            PerformanceModel()
+        )
+
+    def test_sensitive_to_miss_model(self):
+        from dataclasses import replace
+
+        models = dict(DEFAULT_MISS_MODELS)
+        models["rm"] = replace(models["rm"], plateau=models["rm"].plateau * 1.01)
+        assert calibration_fingerprint(
+            PerformanceModel(miss_models=models)
+        ) != calibration_fingerprint(PerformanceModel())
+
+    def test_sensitive_to_overlap_residual(self):
+        assert calibration_fingerprint(
+            PerformanceModel(overlap_residual=0.3)
+        ) != calibration_fingerprint(PerformanceModel())
+
+
+class TestSweepCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        model = PerformanceModel()
+        cache = SweepCache(tmp_path, calibration_fingerprint(model))
+        r = ExperimentRunner(model).run(SMALL_GRID[0])
+        assert cache.get(SMALL_GRID[0]) is None
+        cache.put(r)
+        assert cache.get(SMALL_GRID[0]) == r
+
+    def test_fingerprint_mismatch_is_miss(self, tmp_path):
+        model = PerformanceModel()
+        fp = calibration_fingerprint(model)
+        cache = SweepCache(tmp_path, fp)
+        r = ExperimentRunner(model).run(SMALL_GRID[0])
+        cache.put(r)
+        other = SweepCache(tmp_path, "0" * len(fp))
+        assert other.get(SMALL_GRID[0]) is None
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        model = PerformanceModel()
+        cache = SweepCache(tmp_path, calibration_fingerprint(model))
+        r = ExperimentRunner(model).run(SMALL_GRID[0])
+        cache.put(r)
+        path = cache._path(SMALL_GRID[0])
+        path.write_text("{not json")
+        assert cache.get(SMALL_GRID[0]) is None
+
+    def test_schema_versioned_layout(self, tmp_path):
+        model = PerformanceModel()
+        cache = SweepCache(tmp_path, calibration_fingerprint(model))
+        cache.put(ExperimentRunner(model).run(SMALL_GRID[0]))
+        assert f"v{CACHE_SCHEMA_VERSION}" in str(cache._path(SMALL_GRID[0]))
+
+
+class TestSerialEquivalence:
+    def test_bit_identical_to_run_grid(self, tmp_path):
+        serial = ExperimentRunner().run_grid(SMALL_GRID)
+        swept = sweep_grid(SMALL_GRID, workers=1, cache_dir=tmp_path / "c")
+        assert len(swept) == len(serial)
+        for a, b in zip(serial, swept):  # same values in the same order
+            assert a == b
+
+    def test_full_grid_bit_identical(self, tmp_path):
+        serial = ExperimentRunner().run_grid()
+        swept = sweep_grid(workers=1, cache_dir=tmp_path / "c")
+        assert [r for r in swept] == [r for r in serial]
+
+    def test_duplicate_configs_dedupe(self, tmp_path):
+        cfg = SMALL_GRID[0]
+        rs = sweep_grid([cfg, cfg, cfg], workers=1, cache_dir=None)
+        assert len(rs) == 1
+
+    def test_no_cache_dir_works(self):
+        rs = sweep_grid(SMALL_GRID[:4], workers=1)
+        assert len(rs) == 4
+
+
+class TestParallel:
+    def test_pool_matches_serial(self, tmp_path):
+        serial = ExperimentRunner().run_grid(SMALL_GRID)
+        engine = SweepEngine(workers=2, cache_dir=tmp_path / "c", shard_size=3)
+        swept = engine.run(SMALL_GRID)
+        assert [r for r in swept] == [r for r in serial]
+        assert engine.stats.shards == 4
+        assert engine.stats.cache_hits == 0
+
+    def test_pool_warm_cache(self, tmp_path):
+        SweepEngine(workers=2, cache_dir=tmp_path / "c").run(SMALL_GRID)
+        engine = SweepEngine(workers=2, cache_dir=tmp_path / "c")
+        swept = engine.run(SMALL_GRID)
+        assert len(swept) == len(SMALL_GRID)
+        assert engine.stats.cache_hit_rate == 1.0
+        assert engine.stats.shards == 0
+
+
+class TestCacheBehaviour:
+    def test_second_run_served_from_cache(self, tmp_path):
+        cache = tmp_path / "cache"
+        e1 = SweepEngine(workers=1, cache_dir=cache)
+        e1.run(SMALL_GRID)
+        assert e1.stats.cache_hits == 0
+        e2 = SweepEngine(workers=1, cache_dir=cache)
+        rs = e2.run(SMALL_GRID)
+        assert e2.stats.cache_hit_rate >= 0.95
+        assert rs.get(SMALL_GRID[0]) == ExperimentRunner().run(SMALL_GRID[0])
+
+    def test_recalibration_invalidates(self, tmp_path):
+        from dataclasses import replace
+
+        cache = tmp_path / "cache"
+        SweepEngine(workers=1, cache_dir=cache).run(SMALL_GRID)
+        models = dict(DEFAULT_MISS_MODELS)
+        models["rm"] = replace(models["rm"], center=models["rm"].center * 1.1)
+        e = SweepEngine(
+            model=PerformanceModel(miss_models=models), workers=1, cache_dir=cache
+        )
+        e.run(SMALL_GRID)
+        assert e.stats.cache_hits == 0
+
+    def test_resume_from_partial(self, tmp_path):
+        partial = ExperimentRunner().run_grid(SMALL_GRID[:5])
+        e = SweepEngine(workers=1, cache_dir=None)
+        rs = e.run(SMALL_GRID, resume_from=partial)
+        assert len(rs) == len(SMALL_GRID)
+        assert e.stats.resumed == 5
+
+
+class TestTelemetry:
+    def test_jsonl_log_records_hit_rate(self, tmp_path):
+        cache = tmp_path / "cache"
+        SweepEngine(workers=1, cache_dir=cache).run(SMALL_GRID)
+        SweepEngine(workers=1, cache_dir=cache).run(SMALL_GRID)
+        log = cache / "telemetry.jsonl"
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds.count("sweep_start") == 2
+        assert kinds.count("sweep_end") == 2
+        ends = [e for e in events if e["event"] == "sweep_end"]
+        assert ends[0]["cache_hit_rate"] == 0.0
+        assert ends[1]["cache_hit_rate"] >= 0.95
+        assert ends[1]["points_per_sec"] > 0
+
+    def test_shard_events_carry_latency(self, tmp_path):
+        cache = tmp_path / "cache"
+        SweepEngine(workers=1, cache_dir=cache, shard_size=4).run(SMALL_GRID)
+        events = [
+            json.loads(line)
+            for line in (cache / "telemetry.jsonl").read_text().splitlines()
+        ]
+        shard_done = [e for e in events if e["event"] == "shard_done"]
+        assert len(shard_done) == 3
+        assert all(e["seconds"] >= 0 for e in shard_done)
+
+    def test_progress_line(self, tmp_path, capsys):
+        import sys
+
+        e = SweepEngine(workers=1, cache_dir=None, progress=True)
+        e.run(SMALL_GRID[:4])
+        assert "points" in capsys.readouterr().err
+
+
+class TestRetries:
+    def test_transient_failure_retried(self, tmp_path):
+        model = FlakyModel(tmp_path / "burn", failures=1)
+        e = SweepEngine(model=model, workers=1, cache_dir=None, backoff_s=0.0)
+        cfgs = [SampleConfig(s, 10, 2.6, "1s") for s in ("rm", "mo", "ho")]
+        rs = e.run(cfgs)
+        assert len(rs) == 3
+        assert e.stats.retries == 1
+
+    def test_persistent_failure_raises(self, tmp_path):
+        model = FlakyModel(tmp_path / "burn", failures=10_000)
+        e = SweepEngine(
+            model=model, workers=1, cache_dir=None, retries=2, backoff_s=0.0
+        )
+        cfgs = [SampleConfig("ho", 10, 2.6, "1s")]
+        with pytest.raises(ExperimentError, match="after 3 attempts"):
+            e.run(cfgs)
+
+    def test_pool_timeout_raises_after_retries(self, tmp_path):
+        e = SweepEngine(
+            model=SleepyModel(),
+            workers=2,
+            cache_dir=None,
+            timeout_s=0.5,
+            retries=0,
+            backoff_s=0.0,
+        )
+        with pytest.raises(ExperimentError, match="timeout"):
+            e.run([SampleConfig("ho", 10, 2.6, "1s")])
+
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepEngine(measure="nope")
+        with pytest.raises(ExperimentError):
+            SweepEngine(workers=0)
+        with pytest.raises(ExperimentError):
+            SweepEngine(retries=-1)
+
+
+class TestMeasuredMode:
+    def test_sampled_energies_close_to_model(self, tmp_path):
+        # Short runs only (size 10, fast clocks) keep the 10 Hz chain cheap.
+        cfgs = [SampleConfig("rm", 10, 2.6, "8s"), SampleConfig("mo", 10, 2.6, "8s")]
+        modelled = ExperimentRunner().run_grid(cfgs)
+        sampled = sweep_grid(cfgs, workers=1, measure="sampled")
+        for cfg in cfgs:
+            m, s = modelled.get(cfg), sampled.get(cfg)
+            assert s.seconds == m.seconds  # only energies are re-measured
+            # The chain's inherent end effect trims roughly one sampling
+            # interval of energy; beyond that the estimates must agree.
+            assert s.package_j == pytest.approx(m.package_j, rel=0.35)
+            assert 0 < s.package_j < m.package_j
+
+    def test_sampled_mode_cached_separately(self, tmp_path):
+        cache = tmp_path / "cache"
+        cfgs = [SampleConfig("rm", 10, 2.6, "8s")]
+        sweep_grid(cfgs, workers=1, cache_dir=cache, measure="model")
+        e = SweepEngine(workers=1, cache_dir=cache, measure="sampled")
+        e.run(cfgs)
+        assert e.stats.cache_hits == 0  # model-mode entries do not alias
+
+
+class TestResolveRunner:
+    def test_explicit_runner_wins(self):
+        r = ExperimentRunner()
+        assert resolve_runner(r, None) is r
+
+    def test_default_is_fresh_runner(self):
+        assert isinstance(resolve_runner(None, None), ExperimentRunner)
+
+    def test_sweep_primes_runner(self, tmp_path):
+        engine = SweepEngine(workers=1, cache_dir=tmp_path / "c")
+        runner = resolve_runner(None, engine)
+        # The primed memo already holds the full grid.
+        assert runner.run(full_grid()[0]) == ExperimentRunner().run(full_grid()[0])

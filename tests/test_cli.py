@@ -88,6 +88,48 @@ class TestCommands:
         assert "Morton" in out and "Hilbert" in out
 
 
+class TestSweep:
+    def test_sweep_no_cache(self, capsys):
+        assert main(["sweep", "--workers", "1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "swept 216 points" in out
+
+    def test_sweep_cold_then_warm_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["sweep", "--workers", "1", "--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        assert "0 cache hits" in first
+        assert main(["sweep", "--workers", "1", "--cache-dir", cache]) == 0
+        second = capsys.readouterr().out
+        assert "216 cache hits (100%)" in second
+        assert (tmp_path / "cache" / "telemetry.jsonl").exists()
+
+    def test_sweep_output_and_resume(self, capsys, tmp_path):
+        out_path = str(tmp_path / "results.json")
+        assert main(["sweep", "--workers", "1", "--no-cache",
+                     "--output", out_path]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--workers", "1", "--no-cache",
+                     "--output", out_path, "--resume"]) == 0
+        assert "216 resumed" in capsys.readouterr().out
+
+    def test_sweep_csv_output(self, capsys, tmp_path):
+        out_path = str(tmp_path / "results.csv")
+        assert main(["sweep", "--workers", "1", "--no-cache",
+                     "--output", out_path]) == 0
+        from repro.experiments import ResultSet
+
+        assert len(ResultSet.from_csv(out_path)) == 216
+
+    def test_report_through_sweep_engine(self, tmp_path):
+        from repro.experiments import SweepEngine, generate_report
+
+        engine = SweepEngine(workers=1, cache_dir=tmp_path / "c")
+        text = generate_report(fast=True, sweep=engine)
+        assert "TABLE IV" in text
+        assert engine.stats.points == 216
+
+
 class TestErrorHandling:
     def test_bad_scheme_exits_2(self, capsys):
         assert main(["predict", "--scheme", "zz"]) == 2
