@@ -150,6 +150,13 @@ def run_all(quick=False, timebox=REFERENCE_TIMEBOX_S):
             "machine": platform.machine(),
             "numpy": np.__version__,
         },
+        "notes": [
+            "regenerated after reusing preallocated scratch buffers for the "
+            "wavefront hit-scan (eq/hit/pos in FastCache._run_wavefront were "
+            "fresh m x assoc allocations per step); prior committed rates on "
+            "this host: ll-setassoc-mo 10,927,822/s, ll-setassoc-rm "
+            "6,525,954/s, d1-setassoc-mo 4,471,630/s",
+        ],
         "configs": [
             run_config(name, spec, trace, timebox)
             for name, spec, trace in build_configs(quick)

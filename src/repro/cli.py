@@ -10,6 +10,7 @@
 * ``validate``   — evaluate the paper's findings; non-zero exit on failure.
 * ``sweep``      — parallel, disk-cached sweep of the 216-point grid.
 * ``cachegrind`` — the Section IV-A LL-miss study.
+* ``mrc``        — miss-ratio curves with conflict-miss isolation.
 * ``atlas``      — the tiled-vs-naive wall-clock comparison.
 * ``hardware``   — the future-work index-hardware study.
 * ``gallery``    — Figures 1/2 as ASCII art.
@@ -76,6 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--engine", choices=("exact", "fast"), default="exact",
                    help="cache-simulation engine: reference per-access loop "
                         "or the vectorized sim.fastcache (bit-identical)")
+    c.add_argument("--workers", type=int, default=None,
+                   help="fan per-scheme simulations out to a process pool "
+                        "(bit-identical to the serial study)")
+
+    m = sub.add_parser("mrc", help="miss-ratio curves (capacity vs conflict)")
+    m.add_argument("--n", type=int, default=64, help="problem side")
+    m.add_argument("--rows", type=int, default=2, help="sampled output rows")
+    m.add_argument("--workers", type=int, default=None,
+                   help="fan per-scheme decompositions out to a process "
+                        "pool (bit-identical to the serial study)")
 
     a = sub.add_parser("atlas", help="tiled+tuned vs naive wall clock")
     a.add_argument("--side", type=int, default=128)
@@ -221,11 +232,19 @@ def _cmd_cachegrind(args) -> int:
 
     study = run_cachegrind_study(
         n=args.n, capacity_ratio=args.capacity_ratio, n_rows=args.rows,
-        schemes=("rm", "mo", "ho"), engine=args.engine,
+        schemes=("rm", "mo", "ho"), engine=args.engine, workers=args.workers,
     )
     print(study.summary())
     print()
     print(study.reports["mo"].annotate())
+    return 0
+
+
+def _cmd_mrc(args) -> int:
+    from repro.experiments import render_mrc, run_mrc_study
+
+    curves = run_mrc_study(n=args.n, sample_rows=args.rows, workers=args.workers)
+    print(render_mrc(curves))
     return 0
 
 
@@ -311,6 +330,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "sweep": _cmd_sweep,
     "cachegrind": _cmd_cachegrind,
+    "mrc": _cmd_mrc,
     "atlas": _cmd_atlas,
     "hardware": _cmd_hardware,
     "gallery": _cmd_gallery,

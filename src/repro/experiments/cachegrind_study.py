@@ -83,6 +83,20 @@ def _study_machine(n: int, capacity_ratio: float) -> MachineSpec:
     )
 
 
+def _scheme_report(
+    machine: MachineSpec,
+    n: int,
+    rows: tuple[int, ...],
+    scheme: str,
+    prefetch: str,
+    engine: str,
+) -> CachegrindReport:
+    """One scheme's full instrumentation run (process-pool task)."""
+    sim = CachegrindSim(machine, prefetch=prefetch, engine=engine)
+    spec = MatmulTraceSpec.uniform(n, scheme)
+    return sim.run(naive_matmul_trace(spec, rows=rows))
+
+
 def run_cachegrind_study(
     n: int = 128,
     capacity_ratio: float = 19.7,
@@ -91,12 +105,17 @@ def run_cachegrind_study(
     machine: MachineSpec | None = None,
     prefetch: str = "none",
     engine: str = "exact",
+    workers: int | None = None,
 ) -> CachegrindStudyResult:
     """Run the study at the paper's capacity ratio.
 
     The paper's size-12 problem against a 20 MB LLC has ``u =
     3*8*4096^2/20MB ~ 19.7``; the default scaled pair reproduces that
     ratio with an ``n = 128`` problem against a proportionally small LL.
+
+    ``workers`` fans the per-scheme simulations (which share no cache
+    state) out to a process pool; reports are bit-identical to the serial
+    loop, which remains the ``workers=None`` path.
     """
     if n_rows < 1:
         raise ExperimentError("need at least one sampled row")
@@ -106,8 +125,25 @@ def run_cachegrind_study(
     if rows[0] < 0 or rows[-1] >= n:
         raise ExperimentError(f"sample rows out of range for n={n}")
     reports: dict[str, CachegrindReport] = {}
-    for scheme in schemes:
-        sim = CachegrindSim(machine, prefetch=prefetch, engine=engine)
-        spec = MatmulTraceSpec.uniform(n, scheme)
-        reports[scheme] = sim.run(naive_matmul_trace(spec, rows=rows))
+    if workers is not None and workers > 1 and len(schemes) > 1:
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+
+        ctx = mp.get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(schemes)), mp_context=ctx
+        ) as pool:
+            futures = {
+                scheme: pool.submit(
+                    _scheme_report, machine, n, rows, scheme, prefetch, engine
+                )
+                for scheme in schemes
+            }
+            for scheme, fut in futures.items():
+                reports[scheme] = fut.result()
+    else:
+        for scheme in schemes:
+            reports[scheme] = _scheme_report(
+                machine, n, rows, scheme, prefetch, engine
+            )
     return CachegrindStudyResult(n=n, rows=rows, reports=reports)

@@ -54,6 +54,35 @@ class MissRatioCurve:
         return max(0.0, total - self.mpi_capacity[u]) / total
 
 
+def _scheme_curve(
+    scheme: str,
+    n: int,
+    rows: list[int],
+    iterations: int,
+    caps: dict[float, int],
+    line_bytes: int,
+    assoc: int,
+) -> MissRatioCurve:
+    """One scheme's full decomposition (process-pool task)."""
+    spec = MatmulTraceSpec.uniform(n, scheme)
+    trace = list(naive_matmul_trace(spec, rows=rows))
+    dists = reuse_distances(iter(trace), line_bytes=line_bytes)
+    capacity_misses = miss_curve(dists, caps.values())
+    mpi_cap = {u: capacity_misses[c] / iterations for u, c in caps.items()}
+    mpi_tot = {}
+    for u, cap_lines in caps.items():
+        cache = Cache(
+            CacheSpec("mrc", cap_lines * line_bytes, line_bytes, assoc)
+        )
+        for chunk in trace:
+            cache.access_chunk(chunk)
+        mpi_tot[u] = cache.stats.misses / iterations
+    return MissRatioCurve(
+        scheme=scheme, n=n, assoc=assoc,
+        mpi_capacity=mpi_cap, mpi_total=mpi_tot,
+    )
+
+
 def run_mrc_study(
     n: int = 64,
     schemes: tuple[str, ...] = ("rm", "mo", "ho"),
@@ -61,12 +90,17 @@ def run_mrc_study(
     sample_rows: int = 2,
     line_bytes: int = 64,
     assoc: int = 16,
+    workers: int | None = None,
 ) -> list[MissRatioCurve]:
     """Decompose the naive kernel's misses per scheme and capacity ratio.
 
     For each ``u`` the line capacity is ``3 * 8 * n^2 / u / line_bytes``
     (rounded to a valid set-associative geometry for the exact run);
     iterations are ``sample_rows * n^2``.
+
+    ``workers`` fans the per-scheme decompositions (independent traces and
+    caches) out to a process pool; curves are bit-identical to the serial
+    loop, which remains the ``workers=None`` path.
     """
     if sample_rows < 1 or sample_rows >= n:
         raise ExperimentError("sample_rows must be in [1, n)")
@@ -84,28 +118,26 @@ def run_mrc_study(
             sets *= 2
         caps[u] = sets * assoc
 
-    curves = []
-    for scheme in schemes:
-        spec = MatmulTraceSpec.uniform(n, scheme)
-        trace = list(naive_matmul_trace(spec, rows=rows))
-        dists = reuse_distances(iter(trace), line_bytes=line_bytes)
-        capacity_misses = miss_curve(dists, caps.values())
-        mpi_cap = {u: capacity_misses[c] / iterations for u, c in caps.items()}
-        mpi_tot = {}
-        for u, cap_lines in caps.items():
-            cache = Cache(
-                CacheSpec("mrc", cap_lines * line_bytes, line_bytes, assoc)
-            )
-            for chunk in trace:
-                cache.access_chunk(chunk)
-            mpi_tot[u] = cache.stats.misses / iterations
-        curves.append(
-            MissRatioCurve(
-                scheme=scheme, n=n, assoc=assoc,
-                mpi_capacity=mpi_cap, mpi_total=mpi_tot,
-            )
-        )
-    return curves
+    if workers is not None and workers > 1 and len(schemes) > 1:
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+
+        ctx = mp.get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(schemes)), mp_context=ctx
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _scheme_curve, scheme, n, rows, iterations, caps,
+                    line_bytes, assoc,
+                )
+                for scheme in schemes
+            ]
+            return [f.result() for f in futures]
+    return [
+        _scheme_curve(scheme, n, rows, iterations, caps, line_bytes, assoc)
+        for scheme in schemes
+    ]
 
 
 def render_mrc(curves: list[MissRatioCurve]) -> str:

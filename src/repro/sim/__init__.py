@@ -18,6 +18,11 @@ from repro.sim.multicore import (
     partition_rows,
     partition_rows_cyclic,
 )
+from repro.sim.parallel import (
+    pack_miss_stream,
+    run_parallel,
+    unpack_miss_stream,
+)
 from repro.sim.cpu import cycles_per_iteration, hoisted_index_ops, kernel_compute_seconds
 from repro.sim.dram import dram_power_watts, effective_bandwidth_gbps, memory_seconds
 from repro.sim.dvfs import (
@@ -71,6 +76,9 @@ __all__ = [
     "ThreadPlacement",
     "partition_rows",
     "partition_rows_cyclic",
+    "run_parallel",
+    "pack_miss_stream",
+    "unpack_miss_stream",
     "cycles_per_iteration",
     "hoisted_index_ops",
     "kernel_compute_seconds",

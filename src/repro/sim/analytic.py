@@ -250,6 +250,7 @@ def calibrate_miss_model(
     l3_bytes: int = 64 * 1024,
     n_values: tuple[int, ...] = (32, 64, 128, 256),
     sample_rows: int = 4,
+    workers: int | None = None,
 ) -> MissModelParams:
     """Re-fit a scheme's miss curve against the exact trace simulator.
 
@@ -259,6 +260,10 @@ def calibrate_miss_model(
     non-linear least squares.  Used to regenerate
     :data:`DEFAULT_MISS_MODELS`; tests assert the fit reproduces the
     measurements it was fed.
+
+    ``workers`` pipelines each simulation through the parallel engine
+    (:mod:`repro.sim.parallel`); the measured miss counts — and hence the
+    fitted parameters — are bit-identical either way.
     """
     from scipy.optimize import curve_fit
 
@@ -279,7 +284,9 @@ def calibrate_miss_model(
     us, mpis = [], []
     for n in n_values:
         spec = MatmulTraceSpec.uniform(n, scheme)
-        sim = MulticoreTraceSim(machine, spec, threads=1, sockets_used=1)
+        sim = MulticoreTraceSim(
+            machine, spec, threads=1, sockets_used=1, workers=workers
+        )
         mid = n // 2
         sim.run(rows=[mid - 1])  # warm-up row
         before = sim.result().l3.misses

@@ -96,6 +96,23 @@ class CacheStats:
         """Misses per access (0 when no accesses yet)."""
         return self.misses / self.accesses if self.accesses else 0.0
 
+    def copy(self) -> "CacheStats":
+        """Independent deep copy (the tag arrays are duplicated)."""
+        return CacheStats(
+            accesses=self.accesses,
+            write_accesses=self.write_accesses,
+            hits=self.hits,
+            misses=self.misses,
+            read_misses=self.read_misses,
+            write_misses=self.write_misses,
+            evictions=self.evictions,
+            writebacks=self.writebacks,
+            prefetches=self.prefetches,
+            tag_accesses=self.tag_accesses.copy(),
+            tag_read_misses=self.tag_read_misses.copy(),
+            tag_write_misses=self.tag_write_misses.copy(),
+        )
+
     def merge(self, other: "CacheStats") -> None:
         """Accumulate ``other`` into ``self`` (for per-core aggregation)."""
         self.accesses += other.accesses
@@ -142,6 +159,27 @@ class Cache:
         self.stats = CacheStats()
         self._sets = [[] for _ in range(self.spec.n_sets)]
         self._dirty = set()
+
+    def state_snapshot(self) -> dict:
+        """Picklable contents (MRU order, dirty lines) + statistics."""
+        return {
+            "kind": "exact",
+            "sets": [list(s) for s in self._sets],
+            "dirty": set(self._dirty),
+            "stats": self.stats.copy(),
+        }
+
+    def load_state(self, snapshot: dict) -> None:
+        """Restore a :meth:`state_snapshot` taken from a same-spec cache."""
+        if snapshot.get("kind") != "exact":
+            raise SimulationError(
+                f"cannot load a {snapshot.get('kind')!r} snapshot into Cache"
+            )
+        if len(snapshot["sets"]) != self.spec.n_sets:
+            raise SimulationError("snapshot set count mismatch")
+        self._sets = [list(s) for s in snapshot["sets"]]
+        self._dirty = set(snapshot["dirty"])
+        self.stats = snapshot["stats"].copy()
 
     def lines_of(self, chunk: TraceChunk) -> np.ndarray:
         """Map a chunk's byte addresses to this cache's line numbers."""

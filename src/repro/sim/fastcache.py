@@ -114,6 +114,27 @@ class FastCache:
         self._stack.fill(_EMPTY)
         self._dirty.fill(False)
 
+    def state_snapshot(self) -> dict:
+        """Picklable contents (canonical MRU stacks) + statistics."""
+        return {
+            "kind": "fast",
+            "stack": self._stack.copy(),
+            "dirty": self._dirty.copy(),
+            "stats": self.stats.copy(),
+        }
+
+    def load_state(self, snapshot: dict) -> None:
+        """Restore a :meth:`state_snapshot` taken from a same-spec cache."""
+        if snapshot.get("kind") != "fast":
+            raise SimulationError(
+                f"cannot load a {snapshot.get('kind')!r} snapshot into FastCache"
+            )
+        if snapshot["stack"].shape != self._stack.shape:
+            raise SimulationError("snapshot geometry mismatch")
+        self._stack = snapshot["stack"].copy()
+        self._dirty = snapshot["dirty"].copy()
+        self.stats = snapshot["stats"].copy()
+
     def lines_of(self, chunk: TraceChunk) -> np.ndarray:
         """Map a chunk's byte addresses to this cache's line numbers."""
         return chunk.addr >> np.uint64(self._line_shift)
@@ -292,6 +313,14 @@ class FastCache:
         evictions = 0
         writebacks = 0
         tail = int(self.tail_threshold)
+        # The wavefront only narrows (actives is non-increasing in k), so
+        # scratch buffers sized for the first step serve every step: the
+        # hit scan writes into slices of these instead of allocating a
+        # fresh m x assoc bool array (plus hit/pos vectors) per step.
+        m0 = int(actives[0])
+        eq_buf = np.empty((m0, assoc), dtype=bool)
+        hit_buf = np.empty(m0, dtype=bool)
+        pos_buf = np.empty(m0, dtype=np.intp)
         k = 0
         while k < max_len:
             m = int(actives[k])
@@ -301,9 +330,9 @@ class FastCache:
             cur = h_lines[hi]
             cur_w = h_write[hi]
 
-            eq = slots[:m] == cur[:, None]
-            hit = eq.any(axis=1)
-            pos = eq.argmax(axis=1)
+            eq = np.equal(slots[:m], cur[:, None], out=eq_buf[:m])
+            hit = np.any(eq, axis=1, out=hit_buf[:m])
+            pos = np.argmax(eq, axis=1, out=pos_buf[:m])
             hr = np.flatnonzero(hit)
             mr = np.flatnonzero(~hit)
 

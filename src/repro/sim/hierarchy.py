@@ -12,6 +12,23 @@ Thread interleaving at the shared L3 is chunk-granular round-robin: each
 call delivers one thread's chunk of L2 misses.  At the chunk sizes the
 trace generators emit (a few thousand lines) this approximates fine-grained
 interleaving well for capacity behaviour, which is the effect under study.
+
+The simulation splits into two phases that :mod:`repro.sim.parallel`
+distributes over processes:
+
+* **private phase** — :meth:`CoreHierarchy.access_chunk` runs one core's
+  trace through its own L1/L2 and returns the L2 miss stream.  Cores are
+  independent, so this phase parallelizes perfectly.
+* **shared phase** — :meth:`SocketSim.absorb_miss_stream` replays an
+  already-computed miss stream into the socket's L3.  Only the order of
+  these calls matters; replaying per-chunk miss streams in the serial
+  round-robin order reproduces the serial L3 stream exactly.
+
+:meth:`CoreHierarchy.state_snapshot` / :meth:`CoreHierarchy.load_state`
+carry a core's private-cache contents and statistics across process
+boundaries, so a run split between parent and workers stays bit-identical
+to the serial simulation — including runs that carry state across multiple
+``run()`` calls (the calibration warm-up pattern).
 """
 
 from __future__ import annotations
@@ -38,11 +55,12 @@ class HierarchyResult:
     l3: CacheStats
     dram_lines: int
     dram_writeback_lines: int
+    line_bytes: int = 64
 
     @property
     def dram_bytes(self) -> int:
         """Demand bytes fetched from memory (line-granular)."""
-        return self.dram_lines * 64
+        return self.dram_lines * self.line_bytes
 
     @property
     def llc_misses(self) -> int:
@@ -65,6 +83,15 @@ class CoreHierarchy:
         if len(lines) == 0:
             return lines, w, t
         return self.l2.access_lines(lines, w, t)
+
+    def state_snapshot(self) -> dict:
+        """Picklable contents + statistics of both private levels."""
+        return {"l1": self.l1.state_snapshot(), "l2": self.l2.state_snapshot()}
+
+    def load_state(self, snapshot: dict) -> None:
+        """Restore a :meth:`state_snapshot` (engine kinds must match)."""
+        self.l1.load_state(snapshot["l1"])
+        self.l2.load_state(snapshot["l2"])
 
     def reset(self) -> None:
         self.l1.reset()
@@ -102,9 +129,17 @@ class SocketSim:
         if not 0 <= core < self.n_cores:
             raise SimulationError(f"core {core} out of range 0..{self.n_cores - 1}")
         lines, w, t = self.cores[core].access_chunk(chunk)
+        self.absorb_miss_stream(lines, w, t)
+
+    def absorb_miss_stream(
+        self, lines: np.ndarray, is_write: np.ndarray, tags: np.ndarray
+    ) -> None:
+        """Shared phase: replay one already-computed L2 miss chunk into the
+        L3.  Feeding chunks in the serial round-robin order reproduces the
+        serial simulation exactly (the L3 sees the identical line stream)."""
         if len(lines) == 0:
             return
-        miss_lines, _, _ = self.l3.access_lines(lines, w, t)
+        miss_lines, _, _ = self.l3.access_lines(lines, is_write, tags)
         self.dram_lines += len(miss_lines)
 
     def result(self) -> HierarchyResult:
@@ -120,6 +155,7 @@ class SocketSim:
             l3=self.l3.stats,
             dram_lines=self.dram_lines,
             dram_writeback_lines=self.l3.stats.writebacks,
+            line_bytes=self.machine.l3.line_bytes,
         )
 
     def reset(self) -> None:

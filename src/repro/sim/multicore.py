@@ -12,6 +12,11 @@ This is the *exact-cache* engine used at scaled problem sizes — for
 calibration of the analytic model and for the cachegrind study — not a
 timing simulator: time and energy at paper scale come from
 :mod:`repro.sim.analytic`.
+
+``workers=`` offloads the embarrassingly parallel private-cache phase to
+a process pool while the parent replays the merged L2-miss streams into
+the shared L3s in the serial order (:mod:`repro.sim.parallel`); results
+are bit-identical to the serial path.
 """
 
 from __future__ import annotations
@@ -25,7 +30,12 @@ from repro.sim.config import MachineSpec
 from repro.sim.hierarchy import HierarchyResult, SocketSim
 from repro.trace.matmul_trace import MatmulTraceSpec, naive_matmul_trace
 
-__all__ = ["ThreadPlacement", "partition_rows", "MulticoreTraceSim"]
+__all__ = [
+    "ThreadPlacement",
+    "partition_rows",
+    "partition_rows_cyclic",
+    "MulticoreTraceSim",
+]
 
 
 @dataclass(frozen=True)
@@ -106,16 +116,21 @@ class MulticoreTraceSim:
         cols_per_chunk: int = 64,
         schedule: str = "static",
         engine: str = "exact",
+        workers: int | None = None,
     ):
         if schedule not in ("static", "cyclic"):
             raise SimulationError(
                 f"schedule must be 'static' or 'cyclic', got {schedule!r}"
             )
+        if workers is not None and workers < 1:
+            raise SimulationError(f"workers must be >= 1, got {workers}")
         self.machine = machine
         self.spec = spec
         self.placement = ThreadPlacement.pack(machine, threads, sockets_used)
         self.cols_per_chunk = cols_per_chunk
         self.schedule = schedule
+        self.engine = engine
+        self.workers = workers
         cores_needed = [0] * sockets_used
         for s, c in self.placement.assignments:
             cores_needed[s] = max(cores_needed[s], c + 1)
@@ -124,24 +139,40 @@ class MulticoreTraceSim:
             for s in range(sockets_used)
         ]
 
-    def run(self, rows: list[int] | None = None) -> HierarchyResult:
-        """Simulate; ``rows`` restricts the sampled output rows (paper's
-        few-rows device) — they are partitioned over threads like a full
-        run's row space would be."""
+    def _thread_rows(self, rows: list[int] | None) -> list[list[int]]:
+        """Per-thread output-row lists under the configured schedule."""
         n = self.spec.n
         row_space = list(range(n)) if rows is None else list(rows)
         partition = (
             partition_rows if self.schedule == "static" else partition_rows_cyclic
         )
         parts = partition(len(row_space), self.placement.threads)
-        generators = []
-        for t, part in enumerate(parts):
-            thread_rows = [row_space[i] for i in part]
-            gen = naive_matmul_trace(
-                self.spec, rows=thread_rows, cols_per_chunk=self.cols_per_chunk
-            )
-            generators.append(gen)
+        return [[row_space[i] for i in part] for part in parts]
 
+    def run(self, rows: list[int] | None = None) -> HierarchyResult:
+        """Simulate; ``rows`` restricts the sampled output rows (paper's
+        few-rows device) — they are partitioned over threads like a full
+        run's row space would be.
+
+        With ``workers`` set, the private-cache phase runs on a process
+        pool and the shared-L3 replay overlaps it
+        (:func:`repro.sim.parallel.run_parallel`); the result — and the
+        post-run state of every simulated cache — is bit-identical to the
+        serial path.
+        """
+        thread_rows = self._thread_rows(rows)
+        if self.workers is not None:
+            from repro.sim.parallel import run_parallel
+
+            run_parallel(self, thread_rows, workers=self.workers)
+            return self.result()
+
+        generators = [
+            naive_matmul_trace(
+                self.spec, rows=trows, cols_per_chunk=self.cols_per_chunk
+            )
+            for trows in thread_rows
+        ]
         live = list(range(self.placement.threads))
         while live:
             finished = []
@@ -164,6 +195,7 @@ class MulticoreTraceSim:
         agg = HierarchyResult(
             l1=CacheStats(), l2=CacheStats(), l3=CacheStats(),
             dram_lines=0, dram_writeback_lines=0,
+            line_bytes=self.machine.l3.line_bytes,
         )
         for s in self.sockets:
             r = s.result()

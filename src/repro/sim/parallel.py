@@ -1,0 +1,244 @@
+"""Process-parallel, pipelined multicore trace simulation.
+
+Serial :meth:`~repro.sim.multicore.MulticoreTraceSim.run` simulates every
+thread's trace and private L1/L2 in one process, so a 16-thread
+configuration costs ~16x a single-thread simulation even though per-core
+private caches are completely independent.  This module exploits that
+structure:
+
+* **Stage 1 — private phase (workers).**  Threads are assigned
+  round-robin to ``min(workers, threads)`` processes of a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker
+  regenerates its threads' trace shards locally from the picklable
+  :class:`~repro.trace.matmul_trace.MatmulTraceSpec` (raw trace chunks
+  are never shipped across processes), runs them through fresh
+  :class:`~repro.sim.hierarchy.CoreHierarchy` instances seeded with the
+  parent's carried-state snapshots, and streams each chunk's L2 miss
+  stream back as a compact npz blob on a bounded queue.  When a thread's
+  generator is exhausted the worker sends that core's final private-state
+  snapshot (cache contents + :class:`~repro.sim.cache.CacheStats`).
+* **Stage 2 — shared phase (parent).**  The parent consumes the miss
+  streams in exactly the serial round-robin chunk order (thread 0 chunk
+  0, thread 1 chunk 0, ...) and replays them into each socket's shared
+  L3 via :meth:`~repro.sim.hierarchy.SocketSim.absorb_miss_stream`,
+  overlapping L3 consumption with worker production.  The bounded queues
+  provide backpressure: a worker that runs far ahead of the replay
+  blocks instead of buffering unboundedly.
+
+**Determinism.**  Within one worker, threads are interleaved
+chunk-by-chunk in ascending thread order — the serial loop restricted to
+that worker's thread subset — so each worker's queue delivers messages in
+exactly the order the parent's global round-robin wants them from that
+worker.  The parent's k-way merge therefore never reorders or buffers:
+the merged L3 stream is the serial stream, chunk for chunk, and because
+the private levels are simulated with the same engines over the same
+chunk boundaries, every statistic and every carried cache state is
+bit-identical to the serial run (``tests/sim/test_multicore_parallel.py``
+enforces this differentially).
+
+A worker that raises or dies is detected by polling the pool's futures
+while waiting on the queues; the parent raises
+:class:`~repro.errors.SimulationError` instead of hanging.
+"""
+
+from __future__ import annotations
+
+import io
+import multiprocessing as mp
+import os
+import queue as queue_mod
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.config import MachineSpec
+from repro.sim.hierarchy import CoreHierarchy
+from repro.trace.matmul_trace import MatmulTraceSpec, naive_matmul_trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.multicore import MulticoreTraceSim
+
+__all__ = [
+    "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_START_METHOD",
+    "pack_miss_stream",
+    "run_parallel",
+    "unpack_miss_stream",
+]
+
+#: Messages a worker may buffer ahead of the parent's L3 replay, per
+#: worker.  Small enough to bound memory, large enough to ride out the
+#: replay's per-chunk latency jitter.
+DEFAULT_QUEUE_DEPTH = 16
+
+#: ``spawn`` everywhere: identical behaviour across platforms and no
+#: fork-vs-threads hazards; workers re-import the package and receive
+#: everything they need as pickled arguments.
+DEFAULT_START_METHOD = "spawn"
+
+#: Environment hook for the worker-crash tests: ``kill:<t>`` hard-exits
+#: the worker that owns thread ``t`` before its first chunk, ``raise:<t>``
+#: raises from it.  Spawned children inherit the parent's environment.
+_FAIL_ENV = "SFC_REPRO_TEST_WORKER_FAIL"
+
+_MSG_MISS = 0
+_MSG_DONE = 1
+
+
+def pack_miss_stream(
+    lines: np.ndarray, is_write: np.ndarray, tags: np.ndarray
+) -> bytes:
+    """Serialize one chunk's L2 miss stream as a compact npz blob."""
+    buf = io.BytesIO()
+    np.savez(buf, lines=lines, is_write=is_write, tags=tags)
+    return buf.getvalue()
+
+
+def unpack_miss_stream(blob: bytes) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_miss_stream`."""
+    with np.load(io.BytesIO(blob)) as z:
+        return z["lines"], z["is_write"], z["tags"]
+
+
+def _private_phase_worker(
+    out_queue,
+    machine: MachineSpec,
+    spec: MatmulTraceSpec,
+    engine: str,
+    cols_per_chunk: int,
+    thread_ids: list[int],
+    thread_rows: list[list[int]],
+    snapshots: dict[int, dict],
+) -> None:
+    """Stage 1: simulate this worker's threads' private L1/L2.
+
+    Mirrors the serial round-robin loop over the assigned thread subset,
+    so the queue's message order matches the parent's consumption order.
+    """
+    fail = os.environ.get(_FAIL_ENV, "")
+    cores: dict[int, CoreHierarchy] = {}
+    gens: dict[int, object] = {}
+    for t, rows in zip(thread_ids, thread_rows):
+        core = CoreHierarchy(machine, engine=engine)
+        snap = snapshots.get(t)
+        if snap is not None:
+            core.load_state(snap)
+        cores[t] = core
+        gens[t] = naive_matmul_trace(spec, rows=rows, cols_per_chunk=cols_per_chunk)
+    live = list(thread_ids)
+    while live:
+        finished = []
+        for t in live:
+            if fail == f"kill:{t}":
+                os._exit(3)
+            if fail == f"raise:{t}":
+                raise RuntimeError(f"injected worker failure for thread {t}")
+            try:
+                chunk = next(gens[t])
+            except StopIteration:
+                out_queue.put((_MSG_DONE, t, cores[t].state_snapshot()))
+                finished.append(t)
+                continue
+            lines, w, tags = cores[t].access_chunk(chunk)
+            out_queue.put((_MSG_MISS, t, pack_miss_stream(lines, w, tags)))
+        for t in finished:
+            live.remove(t)
+
+
+def _pop(q, futures, poll_s: float = 0.2):
+    """Blocking queue read that notices dead workers instead of hanging."""
+    while True:
+        try:
+            return q.get(timeout=poll_s)
+        except queue_mod.Empty:
+            for f in futures:
+                if f.done() and f.exception() is not None:
+                    exc = f.exception()
+                    raise SimulationError(
+                        f"parallel private-phase worker failed: {exc!r}"
+                    ) from exc
+
+
+def run_parallel(
+    sim: "MulticoreTraceSim",
+    thread_rows: list[list[int]],
+    workers: int,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    start_method: str = DEFAULT_START_METHOD,
+) -> None:
+    """Run one simulation pass, leaving ``sim``'s sockets in the exact
+    state the serial loop would have produced.
+
+    ``thread_rows`` is the per-thread output-row partition
+    (:meth:`MulticoreTraceSim._thread_rows`).  Carried state from earlier
+    ``run()`` calls is snapshotted into the workers and the final private
+    states are restored into the parent, so repeated runs on one sim
+    object (the calibration warm-up pattern) stay bit-identical too.
+    """
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    placement = sim.placement
+    n_threads = placement.threads
+    n_workers = min(workers, n_threads)
+    owner = [t % n_workers for t in range(n_threads)]
+    per_worker = [
+        [t for t in range(n_threads) if owner[t] == w] for w in range(n_workers)
+    ]
+
+    ctx = mp.get_context(start_method)
+    manager = ctx.Manager()
+    pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx)
+    try:
+        queues = [manager.Queue(maxsize=queue_depth) for _ in range(n_workers)]
+        futures = []
+        for w in range(n_workers):
+            snapshots = {}
+            for t in per_worker[w]:
+                s, c = placement.assignments[t]
+                snapshots[t] = sim.sockets[s].cores[c].state_snapshot()
+            futures.append(
+                pool.submit(
+                    _private_phase_worker,
+                    queues[w],
+                    sim.machine,
+                    sim.spec,
+                    sim.engine,
+                    sim.cols_per_chunk,
+                    per_worker[w],
+                    [thread_rows[t] for t in per_worker[w]],
+                    snapshots,
+                )
+            )
+
+        # Stage 2: merge the per-worker streams in serial round-robin
+        # order and replay into the shared L3s as they arrive.
+        live = list(range(n_threads))
+        while live:
+            finished = []
+            for t in live:
+                kind, msg_t, payload = _pop(queues[owner[t]], futures)
+                if msg_t != t:
+                    raise SimulationError(
+                        f"parallel protocol error: expected thread {t}, "
+                        f"got {msg_t}"
+                    )
+                s, c = placement.assignments[t]
+                if kind == _MSG_DONE:
+                    sim.sockets[s].cores[c].load_state(payload)
+                    finished.append(t)
+                else:
+                    lines, is_write, tags = unpack_miss_stream(payload)
+                    sim.sockets[s].absorb_miss_stream(lines, is_write, tags)
+            for t in finished:
+                live.remove(t)
+        for f in futures:
+            f.result()
+        pool.shutdown(wait=True)
+    finally:
+        # Error path: don't join workers that may be blocked on a full
+        # queue — cancel what never started and tear the manager down,
+        # which unblocks (and terminates) any stuck producer.
+        pool.shutdown(wait=False, cancel_futures=True)
+        manager.shutdown()

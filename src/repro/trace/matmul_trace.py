@@ -68,10 +68,21 @@ class MatmulTraceSpec:
         return {"a": 0, "b": spacing, "c": 2 * spacing}[which]
 
 
-def trace_length(n: int, rows: Sequence[int] | None = None) -> int:
-    """Number of accesses the generator will produce."""
+def trace_length(
+    n: int, rows: Sequence[int] | None = None, loop_order: str = "ijk"
+) -> int:
+    """Number of accesses the generator will produce.
+
+    ``ijk`` emits ``2n + 1`` accesses per middle iteration (A/B read pairs
+    plus the hoisted C write); ``ikj``/``jki`` emit ``1 + 3n`` (one
+    single-operand read, then per inner iteration a stream read and a C
+    read-modify-write).
+    """
+    if loop_order not in ("ijk", "ikj", "jki"):
+        raise SimulationError(f"loop_order must be ijk/ikj/jki, got {loop_order!r}")
     r = n if rows is None else len(rows)
-    return r * n * (2 * n + 1)
+    per_mid = 2 * n + 1 if loop_order == "ijk" else 3 * n + 1
+    return r * n * per_mid
 
 
 def naive_matmul_trace(

@@ -76,3 +76,20 @@ class TestSocketSim:
         s = SocketSim(tiny_machine, n_cores=1)
         s.access_chunk(0, TraceChunk.reads(np.arange(4, dtype=np.uint64) * 64))
         assert s.result().dram_bytes == 4 * 64
+
+    def test_result_dram_bytes_non64_line(self):
+        # dram_bytes must scale with the configured line size, not a
+        # hardcoded 64.
+        m = MachineSpec(
+            name="tiny128",
+            sockets=1,
+            cores_per_socket=1,
+            l1=CacheSpec("L1", 1024, 128, 2),
+            l2=CacheSpec("L2", 2048, 128, 2),
+            l3=CacheSpec("L3", 8192, 128, 4),
+        )
+        s = SocketSim(m, n_cores=1)
+        s.access_chunk(0, TraceChunk.reads(np.arange(4, dtype=np.uint64) * 128))
+        r = s.result()
+        assert r.line_bytes == 128
+        assert r.dram_bytes == 4 * 128

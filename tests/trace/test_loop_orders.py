@@ -84,3 +84,36 @@ class TestLocalityStory:
             for lo in ("ijk", "ikj", "jki")
         }
         assert max(misses.values()) < 4 * min(misses.values())
+
+
+class TestTraceLength:
+    """trace_length must agree with the generator for every loop order."""
+
+    @pytest.mark.parametrize("order", ["ijk", "ikj", "jki"])
+    @pytest.mark.parametrize("rows", [None, [0], [1, 3, 6]])
+    def test_matches_generator(self, order, rows):
+        n = 8
+        spec = MatmulTraceSpec.uniform(n, "rm")
+        from repro.trace import trace_length
+
+        got = sum(
+            len(c) for c in naive_matmul_trace(spec, rows=rows, loop_order=order)
+        )
+        assert got == trace_length(n, rows=rows, loop_order=order)
+
+    def test_formulae(self):
+        from repro.trace import trace_length
+
+        n = 8
+        # ijk: per (i, j): 1 C read + n*(A, B) reads + 1 C write.
+        assert trace_length(n) == n * n * (2 * n + 1)
+        # ikj/jki: per middle iteration: 1 pivot read + n*(stream read +
+        # C read-modify-write) = 1 + 3n accesses.
+        assert trace_length(n, loop_order="ikj") == n * n * (3 * n + 1)
+        assert trace_length(n, loop_order="jki") == n * n * (3 * n + 1)
+
+    def test_invalid_order(self):
+        from repro.trace import trace_length
+
+        with pytest.raises(SimulationError):
+            trace_length(8, loop_order="kij")
