@@ -31,6 +31,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce 'A Study of Energy and Locality Effects "
         "using Space-filling Curves' (Reissmann et al., 2014).",
     )
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="re-raise errors with a full traceback instead of mapping "
+             "them to exit codes",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table4", help="print Table IV (absolute times)")
@@ -80,6 +85,15 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--workers", type=int, default=None,
                    help="fan per-scheme simulations out to a process pool "
                         "(bit-identical to the serial study)")
+    c.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="journal each completed scheme to this append-only "
+                        "file (crash-safe)")
+    c.add_argument("--resume", action="store_true",
+                   help="replay --checkpoint and skip the schemes it holds")
+    c.add_argument("--on-failure", choices=("raise", "serial"),
+                   default="raise",
+                   help="worker-failure policy: fail fast, or degrade to "
+                        "the bit-identical serial path")
 
     m = sub.add_parser("mrc", help="miss-ratio curves (capacity vs conflict)")
     m.add_argument("--n", type=int, default=64, help="problem side")
@@ -87,6 +101,15 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("--workers", type=int, default=None,
                    help="fan per-scheme decompositions out to a process "
                         "pool (bit-identical to the serial study)")
+    m.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="journal each completed scheme to this append-only "
+                        "file (crash-safe)")
+    m.add_argument("--resume", action="store_true",
+                   help="replay --checkpoint and skip the schemes it holds")
+    m.add_argument("--on-failure", choices=("raise", "serial"),
+                   default="raise",
+                   help="worker-failure policy: fail fast, or degrade to "
+                        "the bit-identical serial path")
 
     a = sub.add_parser("atlas", help="tiled+tuned vs naive wall clock")
     a.add_argument("--side", type=int, default=128)
@@ -153,9 +176,19 @@ def _cmd_fig6(_args) -> int:
 
 
 def _cmd_predict(args) -> int:
+    from repro.errors import ExperimentError
     from repro.experiments import ExperimentRunner, SampleConfig
 
-    freq = args.frequency if args.frequency == "ondemand" else float(args.frequency)
+    if args.frequency == "ondemand":
+        freq = args.frequency
+    else:
+        try:
+            freq = float(args.frequency)
+        except ValueError:
+            raise ExperimentError(
+                f"--frequency must be a GHz value or 'ondemand', "
+                f"got {args.frequency!r}"
+            ) from None
     cfg = SampleConfig(args.scheme, args.size, freq, args.threads)
     r = ExperimentRunner().run(cfg)
     print(f"{cfg.key}:")
@@ -228,11 +261,16 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_cachegrind(args) -> int:
+    from repro.errors import ExperimentError
     from repro.experiments import run_cachegrind_study
 
+    if args.resume and not args.checkpoint:
+        raise ExperimentError("--resume requires --checkpoint")
     study = run_cachegrind_study(
         n=args.n, capacity_ratio=args.capacity_ratio, n_rows=args.rows,
         schemes=("rm", "mo", "ho"), engine=args.engine, workers=args.workers,
+        checkpoint=args.checkpoint, resume=args.resume,
+        on_failure=args.on_failure,
     )
     print(study.summary())
     print()
@@ -241,9 +279,16 @@ def _cmd_cachegrind(args) -> int:
 
 
 def _cmd_mrc(args) -> int:
+    from repro.errors import ExperimentError
     from repro.experiments import render_mrc, run_mrc_study
 
-    curves = run_mrc_study(n=args.n, sample_rows=args.rows, workers=args.workers)
+    if args.resume and not args.checkpoint:
+        raise ExperimentError("--resume requires --checkpoint")
+    curves = run_mrc_study(
+        n=args.n, sample_rows=args.rows, workers=args.workers,
+        checkpoint=args.checkpoint, resume=args.resume,
+        on_failure=args.on_failure,
+    )
     print(render_mrc(curves))
     return 0
 
@@ -344,16 +389,30 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code.
 
-    Library errors (bad scheme names, malformed thread configs, ...) are
-    reported on stderr with exit code 2 instead of a traceback.
+    Expected failures — anything in the :class:`~repro.errors.ReproError`
+    taxonomy, such as a malformed thread config or a worker crash — are
+    reported on stderr with exit code 1.  Anything else (including plain
+    ``ValueError``/``KeyError`` escaping library code) is an *unexpected*
+    error: exit code 2.  ``--debug`` re-raises either kind with the full
+    traceback instead.
     """
     from repro.errors import ReproError
 
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (ReproError, ValueError, KeyError) as exc:
+    except ReproError as exc:
+        if args.debug:
+            raise
         print(f"sfc-repro: error: {exc}", file=sys.stderr)
+        return 1
+    except Exception as exc:
+        if args.debug:
+            raise
+        print(
+            f"sfc-repro: unexpected error: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
         return 2
 
 

@@ -15,6 +15,9 @@ __all__ = [
     "SimulationError",
     "CalibrationError",
     "ExperimentError",
+    "WorkerCrashError",
+    "WorkerHangError",
+    "CheckpointError",
 ]
 
 
@@ -50,3 +53,31 @@ class CalibrationError(ReproError, RuntimeError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment configuration or runner invariant was violated."""
+
+
+class WorkerCrashError(SimulationError, ExperimentError):
+    """A parallel worker process died or returned a corrupt payload.
+
+    Raised by both the trace-sim engine (:mod:`repro.sim.parallel`) and
+    the sweep engine (:mod:`repro.experiments.sweep`), so it derives from
+    both taxonomies: existing ``except SimulationError`` and
+    ``except ExperimentError`` sites keep catching it.
+    """
+
+
+class WorkerHangError(SimulationError, ExperimentError):
+    """A parallel worker stalled past the configured hang timeout.
+
+    The watchdog terminated the worker pool before raising, so no live
+    children are left behind.
+    """
+
+
+class CheckpointError(ExperimentError):
+    """A checkpoint journal is unusable for the requested resume.
+
+    Raised when a journal's recorded study parameters do not match the
+    current invocation, or when the journal cannot be read at all.  A
+    truncated or corrupt *tail* is tolerated (the damaged records are
+    dropped and reported), never an error.
+    """

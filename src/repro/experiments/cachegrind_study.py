@@ -15,10 +15,12 @@ default scaled pair reproduces that ratio).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from pathlib import Path
 
 from repro.errors import ExperimentError
-from repro.perf.cachegrind import CachegrindReport, CachegrindSim
+from repro.perf.cachegrind import CachegrindReport, CachegrindSim, TagReport
+from repro.robust import StudyCheckpoint, validate_on_failure, warn_degraded
 from repro.sim.config import CACHEGRIND_LIKE, MachineSpec, scaled_machine
 from repro.trace.matmul_trace import MatmulTraceSpec, naive_matmul_trace
 
@@ -97,6 +99,17 @@ def _scheme_report(
     return sim.run(naive_matmul_trace(spec, rows=rows))
 
 
+def _report_from_payload(payload: dict) -> CachegrindReport:
+    """Rebuild a :class:`CachegrindReport` from its journal payload."""
+    return CachegrindReport(
+        refs=payload["refs"],
+        d1_misses=payload["d1_misses"],
+        ll_misses=payload["ll_misses"],
+        ll_read_misses=payload["ll_read_misses"],
+        per_tag=tuple(TagReport(**t) for t in payload["per_tag"]),
+    )
+
+
 def run_cachegrind_study(
     n: int = 128,
     capacity_ratio: float = 19.7,
@@ -106,6 +119,9 @@ def run_cachegrind_study(
     prefetch: str = "none",
     engine: str = "exact",
     workers: int | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    on_failure: str = "raise",
 ) -> CachegrindStudyResult:
     """Run the study at the paper's capacity ratio.
 
@@ -115,8 +131,19 @@ def run_cachegrind_study(
 
     ``workers`` fans the per-scheme simulations (which share no cache
     state) out to a process pool; reports are bit-identical to the serial
-    loop, which remains the ``workers=None`` path.
+    loop, which remains the ``workers=None`` path.  A pool failure raises
+    unless ``on_failure="serial"``, which recomputes the affected schemes
+    in-process with a warning.
+
+    ``checkpoint`` journals each completed scheme's report to an
+    append-only file (:class:`~repro.robust.StudyCheckpoint`);
+    ``resume=True`` replays it, skips the schemes it holds, and — because
+    the journal stores the exact reports — produces output identical to
+    an uninterrupted run.  Resuming against a journal written with
+    different study parameters raises
+    :class:`~repro.errors.CheckpointError`.
     """
+    validate_on_failure(on_failure)
     if n_rows < 1:
         raise ExperimentError("need at least one sampled row")
     machine = machine or _study_machine(n, capacity_ratio)
@@ -124,26 +151,61 @@ def run_cachegrind_study(
     rows = tuple(range(mid - n_rows // 2, mid - n_rows // 2 + n_rows))
     if rows[0] < 0 or rows[-1] >= n:
         raise ExperimentError(f"sample rows out of range for n={n}")
+
     reports: dict[str, CachegrindReport] = {}
-    if workers is not None and workers > 1 and len(schemes) > 1:
+    ckpt = None
+    if checkpoint is not None:
+        params = {
+            "n": n,
+            "rows": list(rows),
+            "schemes": list(schemes),
+            "prefetch": prefetch,
+            "engine": engine,
+            "machine": asdict(machine),
+        }
+        ckpt = StudyCheckpoint(checkpoint, "cachegrind", params, resume=resume)
+        for scheme in schemes:
+            if ckpt.done(scheme):
+                reports[scheme] = _report_from_payload(ckpt.get(scheme))
+
+    def finish(scheme: str, report: CachegrindReport) -> None:
+        reports[scheme] = report
+        if ckpt is not None:
+            ckpt.record(scheme, asdict(report))
+
+    todo = [s for s in schemes if s not in reports]
+    if workers is not None and workers > 1 and len(todo) > 1:
         import multiprocessing as mp
         from concurrent.futures import ProcessPoolExecutor
 
         ctx = mp.get_context("spawn")
         with ProcessPoolExecutor(
-            max_workers=min(workers, len(schemes)), mp_context=ctx
+            max_workers=min(workers, len(todo)), mp_context=ctx
         ) as pool:
             futures = {
                 scheme: pool.submit(
                     _scheme_report, machine, n, rows, scheme, prefetch, engine
                 )
-                for scheme in schemes
+                for scheme in todo
             }
             for scheme, fut in futures.items():
-                reports[scheme] = fut.result()
+                try:
+                    finish(scheme, fut.result())
+                except Exception as exc:
+                    if on_failure != "serial":
+                        raise
+                    warn_degraded("run_cachegrind_study", f"{scheme}: {exc}")
+                    finish(
+                        scheme,
+                        _scheme_report(machine, n, rows, scheme, prefetch, engine),
+                    )
     else:
-        for scheme in schemes:
-            reports[scheme] = _scheme_report(
-                machine, n, rows, scheme, prefetch, engine
+        for scheme in todo:
+            finish(
+                scheme, _scheme_report(machine, n, rows, scheme, prefetch, engine)
             )
-    return CachegrindStudyResult(n=n, rows=rows, reports=reports)
+    # Scheme order in the output is the caller's order regardless of
+    # which schemes came from the journal.
+    return CachegrindStudyResult(
+        n=n, rows=rows, reports={s: reports[s] for s in schemes}
+    )

@@ -19,10 +19,12 @@ footprint.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.errors import ExperimentError
+from repro.robust import StudyCheckpoint, validate_on_failure, warn_degraded
 from repro.sim.cache import Cache
 from repro.sim.config import CacheSpec
 from repro.sim.stackdist import miss_curve, reuse_distances
@@ -83,6 +85,27 @@ def _scheme_curve(
     )
 
 
+def _curve_to_payload(curve: MissRatioCurve) -> dict:
+    """JSON-safe journal payload (float dict keys become pair lists)."""
+    return {
+        "scheme": curve.scheme,
+        "n": curve.n,
+        "assoc": curve.assoc,
+        "mpi_capacity": [[u, v] for u, v in curve.mpi_capacity.items()],
+        "mpi_total": [[u, v] for u, v in curve.mpi_total.items()],
+    }
+
+
+def _curve_from_payload(payload: dict) -> MissRatioCurve:
+    return MissRatioCurve(
+        scheme=payload["scheme"],
+        n=payload["n"],
+        assoc=payload["assoc"],
+        mpi_capacity={float(u): v for u, v in payload["mpi_capacity"]},
+        mpi_total={float(u): v for u, v in payload["mpi_total"]},
+    )
+
+
 def run_mrc_study(
     n: int = 64,
     schemes: tuple[str, ...] = ("rm", "mo", "ho"),
@@ -91,6 +114,9 @@ def run_mrc_study(
     line_bytes: int = 64,
     assoc: int = 16,
     workers: int | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    on_failure: str = "raise",
 ) -> list[MissRatioCurve]:
     """Decompose the naive kernel's misses per scheme and capacity ratio.
 
@@ -100,8 +126,17 @@ def run_mrc_study(
 
     ``workers`` fans the per-scheme decompositions (independent traces and
     caches) out to a process pool; curves are bit-identical to the serial
-    loop, which remains the ``workers=None`` path.
+    loop, which remains the ``workers=None`` path.  A pool failure raises
+    unless ``on_failure="serial"``, which recomputes the affected schemes
+    in-process with a warning.
+
+    ``checkpoint``/``resume`` journal each completed scheme's curve
+    (:class:`~repro.robust.StudyCheckpoint`): a restarted run skips the
+    journaled schemes and returns curves identical to an uninterrupted
+    run.  A journal written with different parameters refuses to resume
+    (:class:`~repro.errors.CheckpointError`).
     """
+    validate_on_failure(on_failure)
     if sample_rows < 1 or sample_rows >= n:
         raise ExperimentError("sample_rows must be in [1, n)")
     working_set = 3 * 8 * n * n
@@ -118,26 +153,63 @@ def run_mrc_study(
             sets *= 2
         caps[u] = sets * assoc
 
-    if workers is not None and workers > 1 and len(schemes) > 1:
+    curves: dict[str, MissRatioCurve] = {}
+    ckpt = None
+    if checkpoint is not None:
+        params = {
+            "n": n,
+            "schemes": list(schemes),
+            "u_values": list(u_values),
+            "sample_rows": sample_rows,
+            "line_bytes": line_bytes,
+            "assoc": assoc,
+        }
+        ckpt = StudyCheckpoint(checkpoint, "mrc", params, resume=resume)
+        for scheme in schemes:
+            if ckpt.done(scheme):
+                curves[scheme] = _curve_from_payload(ckpt.get(scheme))
+
+    def finish(scheme: str, curve: MissRatioCurve) -> None:
+        curves[scheme] = curve
+        if ckpt is not None:
+            ckpt.record(scheme, _curve_to_payload(curve))
+
+    todo = [s for s in schemes if s not in curves]
+    if workers is not None and workers > 1 and len(todo) > 1:
         import multiprocessing as mp
         from concurrent.futures import ProcessPoolExecutor
 
         ctx = mp.get_context("spawn")
         with ProcessPoolExecutor(
-            max_workers=min(workers, len(schemes)), mp_context=ctx
+            max_workers=min(workers, len(todo)), mp_context=ctx
         ) as pool:
-            futures = [
-                pool.submit(
+            futures = {
+                scheme: pool.submit(
                     _scheme_curve, scheme, n, rows, iterations, caps,
                     line_bytes, assoc,
                 )
-                for scheme in schemes
-            ]
-            return [f.result() for f in futures]
-    return [
-        _scheme_curve(scheme, n, rows, iterations, caps, line_bytes, assoc)
-        for scheme in schemes
-    ]
+                for scheme in todo
+            }
+            for scheme, fut in futures.items():
+                try:
+                    finish(scheme, fut.result())
+                except Exception as exc:
+                    if on_failure != "serial":
+                        raise
+                    warn_degraded("run_mrc_study", f"{scheme}: {exc}")
+                    finish(
+                        scheme,
+                        _scheme_curve(
+                            scheme, n, rows, iterations, caps, line_bytes, assoc
+                        ),
+                    )
+    else:
+        for scheme in todo:
+            finish(
+                scheme,
+                _scheme_curve(scheme, n, rows, iterations, caps, line_bytes, assoc),
+            )
+    return [curves[s] for s in schemes]
 
 
 def render_mrc(curves: list[MissRatioCurve]) -> str:

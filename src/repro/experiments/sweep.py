@@ -40,13 +40,15 @@ import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, WorkerCrashError, WorkerHangError
 from repro.experiments.configs import SampleConfig, full_grid
 from repro.experiments.results import ResultSet, SampleResult
 from repro.experiments.runner import ExperimentRunner
+from repro.robust import FaultPlan, execute_fault, validate_on_failure, warn_degraded
 from repro.sim.analytic import PerformanceModel
 
 __all__ = [
@@ -73,6 +75,10 @@ MEASURE_MODES = ("model", "sampled")
 #: Shards per worker per generation — small enough to amortize IPC,
 #: large enough that an uneven shard does not serialize the tail.
 _SHARDS_PER_WORKER = 4
+
+#: Cache tmp files older than this are stale debris from a crashed
+#: writer (atomic renames happen milliseconds after the tmp is written).
+_TMP_MAX_AGE_S = 3600.0
 
 
 def default_cache_dir() -> Path:
@@ -123,6 +129,45 @@ class SweepCache:
             / fingerprint[:16]
             / measure
         )
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove ``.{name}.{pid}.tmp`` debris left by crashed writers.
+
+        A tmp file is stale when its writer pid is gone or when it is
+        older than :data:`_TMP_MAX_AGE_S` (a healthy writer renames it
+        within milliseconds).  Races with a live writer are harmless:
+        removal failures are ignored and the writer's ``os.replace``
+        still wins.
+        """
+        try:
+            entries = list(self.dir.glob(".*.tmp"))
+        except OSError:
+            return
+        now = time.time()
+        for tmp in entries:
+            try:
+                pid = int(tmp.name.rsplit(".", 2)[-2])
+            except (ValueError, IndexError):
+                pid = None
+            stale = pid is None or pid == os.getpid()
+            if not stale and pid is not None:
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    stale = True
+                except OSError:
+                    pass  # e.g. EPERM: pid exists but isn't ours
+            if not stale:
+                try:
+                    stale = now - tmp.stat().st_mtime > _TMP_MAX_AGE_S
+                except OSError:
+                    continue
+            if stale:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
 
     def _path(self, config: SampleConfig) -> Path:
         return self.dir / f"{config.key}.json"
@@ -167,6 +212,7 @@ class SweepStats:
     shards: int = 0
     retries: int = 0
     resumed: int = 0
+    degraded: int = 0
     seconds: float = 0.0
     workers: int = 1
 
@@ -275,19 +321,40 @@ def _evaluate_shard(
     runner: ExperimentRunner,
     measure: str,
     sample_hz: float,
+    shard_index: int = 0,
+    attempt: int = 0,
+    fault_plan: FaultPlan | None = None,
 ) -> list[SampleResult]:
-    out = [runner.run(cfg) for cfg in shard]
-    if measure == "sampled":
-        out = [_measured_result(r, sample_hz) for r in out]
+    out: list[SampleResult | None] = []
+    for i, cfg in enumerate(shard):
+        fault = (
+            fault_plan.fire(shard_index, i, attempt) if fault_plan else None
+        )
+        if fault is not None and fault.kind != "corrupt":
+            execute_fault(fault)
+        result = runner.run(cfg)
+        if measure == "sampled":
+            result = _measured_result(result, sample_hz)
+        # A "corrupt" fault tampers with the shipped payload: the parent
+        # must notice the hole and treat the shard as failed.
+        out.append(None if fault is not None and fault.kind == "corrupt" else result)
     return out
 
 
-def _pool_run_shard(shard: list[SampleConfig]) -> list[SampleResult]:
+def _pool_run_shard(
+    shard: list[SampleConfig],
+    shard_index: int,
+    attempt: int,
+    fault_plan: FaultPlan | None,
+) -> list[SampleResult]:
     return _evaluate_shard(
         shard,
         _worker_state["runner"],
         _worker_state["measure"],
         _worker_state["sample_hz"],
+        shard_index=shard_index,
+        attempt=attempt,
+        fault_plan=fault_plan,
     )
 
 
@@ -328,6 +395,20 @@ class SweepEngine:
         Extra attempts per shard after a failure or timeout.
     backoff_s:
         Base of the exponential backoff between retry generations.
+    fault_plan:
+        Deterministic fault injection (:class:`~repro.robust.FaultPlan`)
+        addressed by shard index and point-within-shard.  Faults model
+        *worker-process* failures, so they fire only on the pool path;
+        ``workers=1`` in-process shards — and the serial degradation
+        fallback — never inject.
+    on_failure:
+        ``"raise"`` surfaces a shard that exhausted its retries as a
+        typed error (:class:`~repro.errors.WorkerHangError` for
+        timeouts, :class:`~repro.errors.WorkerCrashError` for dead
+        workers and corrupt payloads, :class:`ExperimentError`
+        otherwise); ``"serial"`` instead evaluates the shard in-process
+        on the bit-identical serial path, with a warning and a
+        ``shard_degraded`` telemetry event.
     """
 
     def __init__(
@@ -343,6 +424,8 @@ class SweepEngine:
         backoff_s: float = 0.25,
         log_path: str | Path | None = None,
         progress: bool = False,
+        fault_plan: FaultPlan | None = None,
+        on_failure: str = "raise",
     ):
         if measure not in MEASURE_MODES:
             raise ExperimentError(
@@ -361,6 +444,9 @@ class SweepEngine:
         self.retries = retries
         self.backoff_s = backoff_s
         self.progress = progress
+        self.fault_plan = fault_plan
+        self.on_failure = validate_on_failure(on_failure)
+        self._degraded_runner: ExperimentRunner | None = None
         self.fingerprint = calibration_fingerprint(self.model)
         self.cache = (
             SweepCache(cache_dir, self.fingerprint, measure) if cache_dir else None
@@ -482,20 +568,80 @@ class SweepEngine:
         done = len(by_key)
         telemetry.progress_line(done, stats.points, stats)
 
-    def _retry_or_raise(self, job, exc, telemetry, stats) -> None:
+    def _validate_shard(self, job) -> None:
+        """Reject corrupt shard payloads (wrong length, holes, key drift)."""
+        ok = (
+            isinstance(job.results, list)
+            and len(job.results) == len(job.configs)
+            and all(
+                isinstance(r, SampleResult) and r.config.key == cfg.key
+                for r, cfg in zip(job.results, job.configs)
+            )
+        )
+        if not ok:
+            job.results = None
+            raise WorkerCrashError(
+                f"shard {job.index} returned a corrupt payload"
+            )
+
+    @staticmethod
+    def _failure_kind(exc) -> str:
+        if isinstance(exc, FuturesTimeout):
+            return "timeout"
+        if isinstance(exc, (BrokenProcessPool, WorkerCrashError)):
+            return "crash"
+        return "error"
+
+    def _degrade_shard(self, job, exc, telemetry, stats, by_key) -> None:
+        """Evaluate a given-up shard in-process on the serial path."""
+        warn_degraded("SweepEngine", f"shard {job.index}: {exc}")
+        stats.degraded += 1
+        telemetry.event(
+            "shard_degraded", shard=job.index, attempts=job.attempts,
+            kind=self._failure_kind(exc), detail=str(exc),
+        )
+        if getattr(self, "_degraded_runner", None) is None:
+            self._degraded_runner = ExperimentRunner(self.model)
+        t0 = time.monotonic()
+        job.results = _evaluate_shard(
+            job.configs, self._degraded_runner, self.measure, self.sample_hz
+        )
+        self._record_shard(
+            job, time.monotonic() - t0, job.attempts + 1, telemetry, stats,
+            by_key,
+        )
+
+    def _retry_or_raise(self, job, exc, telemetry, stats, by_key) -> bool:
+        """Handle one shard failure.
+
+        Returns ``True`` when the shard was *resolved* by serial
+        degradation (it must not be retried), ``False`` when it should
+        ride into the next retry generation.  With ``on_failure="raise"``
+        and the retry budget exhausted, raises the typed error matching
+        the failure kind.
+        """
         job.attempts += 1
         stats.retries += 1
-        kind = "timeout" if isinstance(exc, FuturesTimeout) else "error"
+        kind = self._failure_kind(exc)
         if job.attempts > self.retries:
             telemetry.event(
                 "shard_failed", shard=job.index, attempts=job.attempts, kind=kind,
                 detail=str(exc),
             )
+            if self.on_failure == "serial":
+                self._degrade_shard(job, exc, telemetry, stats, by_key)
+                return True
             telemetry.close()
-            raise ExperimentError(
+            message = (
                 f"shard {job.index} failed after {job.attempts} attempts: "
                 f"{kind}: {exc}"
-            ) from (None if isinstance(exc, FuturesTimeout) else exc)
+            )
+            cause = None if isinstance(exc, FuturesTimeout) else exc
+            if kind == "timeout":
+                raise WorkerHangError(message) from cause
+            if kind == "crash":
+                raise WorkerCrashError(message) from cause
+            raise ExperimentError(message) from cause
         backoff = self.backoff_s * (2 ** (job.attempts - 1))
         telemetry.event(
             "shard_retry", shard=job.index, attempt=job.attempts, kind=kind,
@@ -503,6 +649,7 @@ class SweepEngine:
         )
         if backoff > 0:
             time.sleep(backoff)
+        return False
 
     def _run_serial(self, jobs, telemetry, stats, by_key) -> None:
         runner = ExperimentRunner(self.model)
@@ -514,7 +661,8 @@ class SweepEngine:
                         job.configs, runner, self.measure, self.sample_hz
                     )
                 except Exception as exc:
-                    self._retry_or_raise(job, exc, telemetry, stats)
+                    if self._retry_or_raise(job, exc, telemetry, stats, by_key):
+                        break
                     continue
                 self._record_shard(
                     job, time.monotonic() - t0, job.attempts + 1, telemetry,
@@ -529,36 +677,82 @@ class SweepEngine:
             initargs=(self.model, self.measure, self.sample_hz),
         )
 
+    @staticmethod
+    def _abandon_pool(executor: ProcessPoolExecutor) -> None:
+        """Tear a pool down without trusting its workers to cooperate.
+
+        ``shutdown(wait=False)`` alone leaves a hung worker alive, and
+        ``concurrent.futures`` joins leftover workers at interpreter
+        exit — the whole program would hang on the worker we just gave
+        up on.  Terminate them outright.
+        """
+        procs = list(getattr(executor, "_processes", {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        for p in procs:
+            try:
+                p.terminate()
+            except Exception:
+                pass
+
     def _run_pool(self, jobs, telemetry, stats, by_key) -> None:
         pending = list(jobs)
         executor = self._new_pool()
         try:
             while pending:
-                futures = [
-                    (job, executor.submit(_pool_run_shard, job.configs))
-                    for job in pending
-                ]
+                futures: list[tuple[_ShardJob, object]] = []
                 failed: list[_ShardJob] = []
                 respawn = False
-                for pos, (job, fut) in enumerate(futures):
+                for job in pending:
                     if respawn:
-                        # The pool was torn down to abandon a stuck shard;
-                        # everything unharvested rides into the next
-                        # generation without a retry penalty.
+                        failed.append(job)
+                        continue
+                    try:
+                        futures.append((
+                            job,
+                            executor.submit(
+                                _pool_run_shard, job.configs, job.index,
+                                job.attempts, self.fault_plan,
+                            ),
+                        ))
+                    except BrokenProcessPool as exc:
+                        # A worker died while this generation was still
+                        # being submitted; the submit itself fails.
+                        self._abandon_pool(executor)
+                        executor = self._new_pool()
+                        respawn = True
+                        if not self._retry_or_raise(
+                            job, exc, telemetry, stats, by_key
+                        ):
+                            failed.append(job)
+                for job, fut in futures:
+                    if respawn:
+                        # The pool was torn down to abandon a stuck shard
+                        # (or died under a crashed worker); everything
+                        # unharvested rides into the next generation
+                        # without a retry penalty.
                         failed.append(job)
                         continue
                     t0 = time.monotonic()
                     try:
                         job.results = fut.result(timeout=self.timeout_s)
-                    except FuturesTimeout as exc:
-                        executor.shutdown(wait=False, cancel_futures=True)
+                        self._validate_shard(job)
+                    except (FuturesTimeout, BrokenProcessPool) as exc:
+                        # Either way the pool can't be trusted any more:
+                        # a timed-out shard's straggler would deliver
+                        # into the next generation, a broken pool fails
+                        # every future.  Respawn and retry.
+                        self._abandon_pool(executor)
                         executor = self._new_pool()
                         respawn = True
-                        self._retry_or_raise(job, exc, telemetry, stats)
-                        failed.append(job)
+                        if not self._retry_or_raise(
+                            job, exc, telemetry, stats, by_key
+                        ):
+                            failed.append(job)
                     except Exception as exc:
-                        self._retry_or_raise(job, exc, telemetry, stats)
-                        failed.append(job)
+                        if not self._retry_or_raise(
+                            job, exc, telemetry, stats, by_key
+                        ):
+                            failed.append(job)
                     else:
                         self._record_shard(
                             job, time.monotonic() - t0, job.attempts + 1,
@@ -566,7 +760,7 @@ class SweepEngine:
                         )
                 pending = failed
         finally:
-            executor.shutdown(wait=False, cancel_futures=True)
+            self._abandon_pool(executor)
 
 
 def sweep_grid(

@@ -1,0 +1,65 @@
+"""Wall-clock hang detection for parallel merge loops.
+
+A :class:`Watchdog` is a deadline that worker traffic keeps pushing
+forward: every data message or heartbeat calls :meth:`beat`, and the
+consumer polls :meth:`expired` while waiting.  When the deadline passes
+with no traffic, the caller terminates its worker pool and raises
+:class:`~repro.errors.WorkerHangError` — a stalled worker costs at most
+``hang_timeout_s`` instead of blocking forever.
+
+The heartbeat protocol (see :mod:`repro.sim.parallel`): workers emit a
+heartbeat message on their data queue whenever ``heartbeat_s`` has passed
+since they last sent anything, *from the worker's main loop* — not from a
+side thread — so a heartbeat certifies progress, not mere process
+liveness.  A worker stuck inside one unit of work emits nothing and the
+watchdog fires; a slow-but-progressing worker keeps beating and never
+trips it.  ``hang_timeout_s`` must therefore exceed the worst-case cost
+of a single unit of work plus one heartbeat interval.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import SimulationError, WorkerHangError
+
+__all__ = ["DEFAULT_HEARTBEAT_S", "Watchdog"]
+
+#: How often an idle-ish worker reassures the parent (seconds).
+DEFAULT_HEARTBEAT_S = 1.0
+
+
+class Watchdog:
+    """Deadline tracker; ``hang_timeout_s=None`` disables it entirely."""
+
+    def __init__(self, hang_timeout_s: float | None):
+        if hang_timeout_s is not None and hang_timeout_s <= 0:
+            raise SimulationError(
+                f"hang_timeout_s must be positive, got {hang_timeout_s}"
+            )
+        self.hang_timeout_s = hang_timeout_s
+        self._last_beat = time.monotonic()
+
+    def beat(self) -> None:
+        """Record evidence of worker progress; resets the deadline."""
+        self._last_beat = time.monotonic()
+
+    @property
+    def silence_s(self) -> float:
+        """Seconds since the last recorded beat."""
+        return time.monotonic() - self._last_beat
+
+    def expired(self) -> bool:
+        return (
+            self.hang_timeout_s is not None
+            and self.silence_s > self.hang_timeout_s
+        )
+
+    def check(self, context: str = "worker") -> None:
+        """Raise :class:`WorkerHangError` if the deadline has passed."""
+        if self.expired():
+            raise WorkerHangError(
+                f"{context} made no progress for "
+                f"{self.silence_s:.1f}s (hang_timeout_s="
+                f"{self.hang_timeout_s})"
+            )

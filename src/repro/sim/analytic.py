@@ -251,6 +251,9 @@ def calibrate_miss_model(
     n_values: tuple[int, ...] = (32, 64, 128, 256),
     sample_rows: int = 4,
     workers: int | None = None,
+    checkpoint=None,
+    resume: bool = False,
+    on_failure: str = "raise",
 ) -> MissModelParams:
     """Re-fit a scheme's miss curve against the exact trace simulator.
 
@@ -263,14 +266,24 @@ def calibrate_miss_model(
 
     ``workers`` pipelines each simulation through the parallel engine
     (:mod:`repro.sim.parallel`); the measured miss counts — and hence the
-    fitted parameters — are bit-identical either way.
+    fitted parameters — are bit-identical either way.  With
+    ``on_failure="serial"`` a crashed or hung parallel run degrades to
+    the serial simulator instead of raising.
+
+    ``checkpoint``/``resume`` journal each problem size's measured point
+    (:class:`~repro.robust.StudyCheckpoint`), so a calibration killed
+    mid-run resumes from the completed sizes; the fit is recomputed from
+    the journaled measurements and is identical to an uninterrupted
+    run's.
     """
     from scipy.optimize import curve_fit
 
+    from repro.robust import StudyCheckpoint, validate_on_failure
     from repro.sim.config import CacheSpec
     from repro.sim.multicore import MulticoreTraceSim
     from repro.trace.matmul_trace import MatmulTraceSpec
 
+    validate_on_failure(on_failure)
     if sample_rows < 1:
         raise CalibrationError("sample_rows must be >= 1")
     machine = MachineSpec(
@@ -281,11 +294,27 @@ def calibrate_miss_model(
         l2=CacheSpec("L2", 2048, 64, 8),
         l3=CacheSpec("L3", l3_bytes, 64, 16),
     )
+    ckpt = None
+    if checkpoint is not None:
+        params = {
+            "scheme": scheme,
+            "l3_bytes": l3_bytes,
+            "n_values": list(n_values),
+            "sample_rows": sample_rows,
+        }
+        ckpt = StudyCheckpoint(checkpoint, "calibrate_miss_model", params,
+                               resume=resume)
     us, mpis = [], []
     for n in n_values:
+        if ckpt is not None and ckpt.done(str(n)):
+            point = ckpt.get(str(n))
+            us.append(point["u"])
+            mpis.append(point["mpi"])
+            continue
         spec = MatmulTraceSpec.uniform(n, scheme)
         sim = MulticoreTraceSim(
-            machine, spec, threads=1, sockets_used=1, workers=workers
+            machine, spec, threads=1, sockets_used=1, workers=workers,
+            on_failure=on_failure,
         )
         mid = n // 2
         sim.run(rows=[mid - 1])  # warm-up row
@@ -293,8 +322,12 @@ def calibrate_miss_model(
         rows = [mid + r for r in range(sample_rows)]
         sim.run(rows=rows)
         misses = sim.result().l3.misses - before
-        us.append(3 * 8 * n * n / l3_bytes)
-        mpis.append(misses / (sample_rows * n * n))
+        u = 3 * 8 * n * n / l3_bytes
+        mpi = misses / (sample_rows * n * n)
+        if ckpt is not None:
+            ckpt.record(str(n), {"u": u, "mpi": mpi})
+        us.append(u)
+        mpis.append(mpi)
     us_arr = np.asarray(us)
     mpi_arr = np.asarray(mpis)
 

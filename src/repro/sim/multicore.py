@@ -16,7 +16,11 @@ timing simulator: time and energy at paper scale come from
 ``workers=`` offloads the embarrassingly parallel private-cache phase to
 a process pool while the parent replays the merged L2-miss streams into
 the shared L3s in the serial order (:mod:`repro.sim.parallel`); results
-are bit-identical to the serial path.
+are bit-identical to the serial path.  ``on_failure="serial"`` makes a
+parallel run degrade gracefully: if a worker crashes or hangs, the sim's
+pre-run cache state is restored and the run is redone on the in-process
+serial loop — the result is bit-identical to a serial run, because it
+*is* one.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.robust import FaultPlan, validate_on_failure, warn_degraded
 from repro.sim.config import MachineSpec
 from repro.sim.hierarchy import HierarchyResult, SocketSim
 from repro.trace.matmul_trace import MatmulTraceSpec, naive_matmul_trace
@@ -117,6 +122,10 @@ class MulticoreTraceSim:
         schedule: str = "static",
         engine: str = "exact",
         workers: int | None = None,
+        fault_plan: FaultPlan | None = None,
+        hang_timeout_s: float | None = None,
+        heartbeat_s: float | None = None,
+        on_failure: str = "raise",
     ):
         if schedule not in ("static", "cyclic"):
             raise SimulationError(
@@ -131,6 +140,10 @@ class MulticoreTraceSim:
         self.schedule = schedule
         self.engine = engine
         self.workers = workers
+        self.fault_plan = fault_plan
+        self.hang_timeout_s = hang_timeout_s
+        self.heartbeat_s = heartbeat_s
+        self.on_failure = validate_on_failure(on_failure)
         cores_needed = [0] * sockets_used
         for s, c in self.placement.assignments:
             cores_needed[s] = max(cores_needed[s], c + 1)
@@ -158,15 +171,40 @@ class MulticoreTraceSim:
         pool and the shared-L3 replay overlaps it
         (:func:`repro.sim.parallel.run_parallel`); the result — and the
         post-run state of every simulated cache — is bit-identical to the
-        serial path.
+        serial path.  A worker crash or hang raises the matching typed
+        error (``on_failure="raise"``) or, with ``on_failure="serial"``,
+        restores the pre-run cache state and redoes the run serially.
         """
         thread_rows = self._thread_rows(rows)
         if self.workers is not None:
             from repro.sim.parallel import run_parallel
 
-            run_parallel(self, thread_rows, workers=self.workers)
-            return self.result()
+            checkpoint = (
+                self._state_snapshot() if self.on_failure == "serial" else None
+            )
+            extra = (
+                {} if self.heartbeat_s is None
+                else {"heartbeat_s": self.heartbeat_s}
+            )
+            try:
+                run_parallel(
+                    self,
+                    thread_rows,
+                    workers=self.workers,
+                    fault_plan=self.fault_plan,
+                    hang_timeout_s=self.hang_timeout_s,
+                    **extra,
+                )
+                return self.result()
+            except SimulationError as exc:
+                if checkpoint is None:
+                    raise
+                warn_degraded("MulticoreTraceSim", str(exc))
+                self._load_state(checkpoint)
+        return self._run_serial(thread_rows)
 
+    def _run_serial(self, thread_rows: list[list[int]]) -> HierarchyResult:
+        """The reference in-process loop (also the degradation target)."""
         generators = [
             naive_matmul_trace(
                 self.spec, rows=trows, cols_per_chunk=self.cols_per_chunk
@@ -187,6 +225,31 @@ class MulticoreTraceSim:
             for t in finished:
                 live.remove(t)
         return self.result()
+
+    def _state_snapshot(self) -> list[dict]:
+        """Complete picklable state of every simulated cache.
+
+        Taken before a parallel attempt when ``on_failure="serial"``: a
+        failed run may have partially mutated the shared L3s (miss chunks
+        replay as they arrive), so degradation must rewind to this
+        snapshot before redoing the work serially.
+        """
+        return [
+            {
+                "cores": [core.state_snapshot() for core in s.cores],
+                "l3": s.l3.state_snapshot(),
+                "dram_lines": s.dram_lines,
+            }
+            for s in self.sockets
+        ]
+
+    def _load_state(self, snapshot: list[dict]) -> None:
+        """Restore a :meth:`_state_snapshot`."""
+        for s, snap in zip(self.sockets, snapshot):
+            for core, core_snap in zip(s.cores, snap["cores"]):
+                core.load_state(core_snap)
+            s.l3.load_state(snap["l3"])
+            s.dram_lines = snap["dram_lines"]
 
     def result(self) -> HierarchyResult:
         """Statistics aggregated over all sockets (fresh copies)."""

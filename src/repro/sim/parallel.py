@@ -7,11 +7,10 @@ private caches are completely independent.  This module exploits that
 structure:
 
 * **Stage 1 — private phase (workers).**  Threads are assigned
-  round-robin to ``min(workers, threads)`` processes of a
-  :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker
-  regenerates its threads' trace shards locally from the picklable
-  :class:`~repro.trace.matmul_trace.MatmulTraceSpec` (raw trace chunks
-  are never shipped across processes), runs them through fresh
+  round-robin to ``min(workers, threads)`` spawned worker processes.
+  Each worker regenerates its threads' trace shards locally from the
+  picklable :class:`~repro.trace.matmul_trace.MatmulTraceSpec` (raw trace
+  chunks are never shipped across processes), runs them through fresh
   :class:`~repro.sim.hierarchy.CoreHierarchy` instances seeded with the
   parent's carried-state snapshots, and streams each chunk's L2 miss
   stream back as a compact npz blob on a bounded queue.  When a thread's
@@ -36,23 +35,41 @@ chunk boundaries, every statistic and every carried cache state is
 bit-identical to the serial run (``tests/sim/test_multicore_parallel.py``
 enforces this differentially).
 
-A worker that raises or dies is detected by polling the pool's futures
-while waiting on the queues; the parent raises
-:class:`~repro.errors.SimulationError` instead of hanging.
+**Robustness** (see :mod:`repro.robust`):
+
+* Workers are plain ``multiprocessing`` processes on plain bounded
+  ``multiprocessing`` queues — no pool, no ``Manager`` process — so the
+  parent can deterministically ``terminate()`` every child on any exit
+  path; ``run_parallel`` never leaks children.
+* A worker that raises ships the error back as a message
+  (:class:`~repro.errors.WorkerCrashError` in the parent); a worker that
+  *dies* (hard exit, OOM-kill) is detected by polling its liveness while
+  waiting on its queue.
+* Workers emit heartbeat messages whenever ``heartbeat_s`` passes
+  without data traffic, and the parent runs a wall-clock
+  :class:`~repro.robust.Watchdog` over each queue wait: with
+  ``hang_timeout_s`` set, a worker stuck inside one chunk surfaces as
+  :class:`~repro.errors.WorkerHangError` within the timeout instead of
+  blocking forever, while a slow-but-progressing worker keeps beating
+  and never trips it.
+* Deterministic fault injection for all of the above: a
+  :class:`~repro.robust.FaultPlan` rides into the workers and fires
+  crash / hang / transient / slow / corrupt-payload faults by worker id
+  and chunk step.
 """
 
 from __future__ import annotations
 
 import io
 import multiprocessing as mp
-import os
 import queue as queue_mod
-from concurrent.futures import ProcessPoolExecutor
+import time
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WorkerCrashError
+from repro.robust import DEFAULT_HEARTBEAT_S, FaultPlan, Watchdog, corrupt_blob, execute_fault
 from repro.sim.config import MachineSpec
 from repro.sim.hierarchy import CoreHierarchy
 from repro.trace.matmul_trace import MatmulTraceSpec, naive_matmul_trace
@@ -78,13 +95,14 @@ DEFAULT_QUEUE_DEPTH = 16
 #: everything they need as pickled arguments.
 DEFAULT_START_METHOD = "spawn"
 
-#: Environment hook for the worker-crash tests: ``kill:<t>`` hard-exits
-#: the worker that owns thread ``t`` before its first chunk, ``raise:<t>``
-#: raises from it.  Spawned children inherit the parent's environment.
-_FAIL_ENV = "SFC_REPRO_TEST_WORKER_FAIL"
-
 _MSG_MISS = 0
 _MSG_DONE = 1
+_MSG_HEARTBEAT = 2
+_MSG_ERROR = 3
+
+#: How long the parent waits for straggling messages from a worker whose
+#: process has already exited, before declaring the payload lost.
+_DRAIN_GRACE_S = 0.25
 
 
 def pack_miss_stream(
@@ -104,6 +122,7 @@ def unpack_miss_stream(blob: bytes) -> tuple[np.ndarray, np.ndarray, np.ndarray]
 
 def _private_phase_worker(
     out_queue,
+    worker_id: int,
     machine: MachineSpec,
     spec: MatmulTraceSpec,
     engine: str,
@@ -111,54 +130,96 @@ def _private_phase_worker(
     thread_ids: list[int],
     thread_rows: list[list[int]],
     snapshots: dict[int, dict],
+    fault_plan: FaultPlan | None,
+    heartbeat_s: float,
 ) -> None:
     """Stage 1: simulate this worker's threads' private L1/L2.
 
     Mirrors the serial round-robin loop over the assigned thread subset,
     so the queue's message order matches the parent's consumption order.
+    ``fault_plan`` faults fire by chunk step; exceptions are shipped back
+    as an error message rather than dying silently.
     """
-    fail = os.environ.get(_FAIL_ENV, "")
-    cores: dict[int, CoreHierarchy] = {}
-    gens: dict[int, object] = {}
-    for t, rows in zip(thread_ids, thread_rows):
-        core = CoreHierarchy(machine, engine=engine)
-        snap = snapshots.get(t)
-        if snap is not None:
-            core.load_state(snap)
-        cores[t] = core
-        gens[t] = naive_matmul_trace(spec, rows=rows, cols_per_chunk=cols_per_chunk)
-    live = list(thread_ids)
-    while live:
-        finished = []
-        for t in live:
-            if fail == f"kill:{t}":
-                os._exit(3)
-            if fail == f"raise:{t}":
-                raise RuntimeError(f"injected worker failure for thread {t}")
-            try:
-                chunk = next(gens[t])
-            except StopIteration:
-                out_queue.put((_MSG_DONE, t, cores[t].state_snapshot()))
-                finished.append(t)
-                continue
-            lines, w, tags = cores[t].access_chunk(chunk)
-            out_queue.put((_MSG_MISS, t, pack_miss_stream(lines, w, tags)))
-        for t in finished:
-            live.remove(t)
+    last_send = time.monotonic()
+
+    def send(msg) -> None:
+        nonlocal last_send
+        out_queue.put(msg)
+        last_send = time.monotonic()
+
+    try:
+        cores: dict[int, CoreHierarchy] = {}
+        gens: dict[int, object] = {}
+        for t, rows in zip(thread_ids, thread_rows):
+            core = CoreHierarchy(machine, engine=engine)
+            snap = snapshots.get(t)
+            if snap is not None:
+                core.load_state(snap)
+            cores[t] = core
+            gens[t] = naive_matmul_trace(
+                spec, rows=rows, cols_per_chunk=cols_per_chunk
+            )
+        step = 0
+        live = list(thread_ids)
+        while live:
+            finished = []
+            for t in live:
+                if time.monotonic() - last_send >= heartbeat_s:
+                    send((_MSG_HEARTBEAT, worker_id, None))
+                fault = fault_plan.fire(worker_id, step) if fault_plan else None
+                if fault is not None and fault.kind != "corrupt":
+                    execute_fault(fault)
+                step += 1
+                try:
+                    chunk = next(gens[t])
+                except StopIteration:
+                    send((_MSG_DONE, t, cores[t].state_snapshot()))
+                    finished.append(t)
+                    continue
+                lines, w, tags = cores[t].access_chunk(chunk)
+                blob = pack_miss_stream(lines, w, tags)
+                if fault is not None and fault.kind == "corrupt":
+                    blob = corrupt_blob(blob)
+                send((_MSG_MISS, t, blob))
+            for t in finished:
+                live.remove(t)
+    except BaseException as exc:  # ship the failure; never die silently
+        out_queue.put((_MSG_ERROR, worker_id, f"{type(exc).__name__}: {exc}"))
 
 
-def _pop(q, futures, poll_s: float = 0.2):
-    """Blocking queue read that notices dead workers instead of hanging."""
+def _pop(q, proc, watchdog: Watchdog, poll_s: float = 0.05):
+    """Blocking queue read that notices dead and hung workers.
+
+    Heartbeats feed the watchdog and are consumed here; error messages
+    raise :class:`WorkerCrashError`; watchdog expiry raises
+    :class:`WorkerHangError`; a dead worker with a drained queue raises
+    :class:`WorkerCrashError`.  Only data messages are returned.
+    """
     while True:
         try:
-            return q.get(timeout=poll_s)
+            msg = q.get(timeout=poll_s)
         except queue_mod.Empty:
-            for f in futures:
-                if f.done() and f.exception() is not None:
-                    exc = f.exception()
-                    raise SimulationError(
-                        f"parallel private-phase worker failed: {exc!r}"
-                    ) from exc
+            watchdog.check("parallel private-phase worker")
+            if proc.exitcode is None:
+                continue
+            # The process is gone; give its queue feeder a moment to
+            # deliver anything already in flight, then declare the crash.
+            try:
+                msg = q.get(timeout=_DRAIN_GRACE_S)
+            except queue_mod.Empty:
+                raise WorkerCrashError(
+                    f"parallel private-phase worker died with exit code "
+                    f"{proc.exitcode} before completing its threads"
+                ) from None
+        watchdog.beat()
+        kind = msg[0]
+        if kind == _MSG_HEARTBEAT:
+            continue
+        if kind == _MSG_ERROR:
+            raise WorkerCrashError(
+                f"parallel private-phase worker failed: {msg[2]}"
+            )
+        return msg
 
 
 def run_parallel(
@@ -167,6 +228,9 @@ def run_parallel(
     workers: int,
     queue_depth: int = DEFAULT_QUEUE_DEPTH,
     start_method: str = DEFAULT_START_METHOD,
+    fault_plan: FaultPlan | None = None,
+    hang_timeout_s: float | None = None,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
 ) -> None:
     """Run one simulation pass, leaving ``sim``'s sockets in the exact
     state the serial loop would have produced.
@@ -176,9 +240,18 @@ def run_parallel(
     ``run()`` calls is snapshotted into the workers and the final private
     states are restored into the parent, so repeated runs on one sim
     object (the calibration warm-up pattern) stay bit-identical too.
+
+    Failure semantics: a worker that raises, dies or ships a corrupt
+    payload raises :class:`WorkerCrashError`; with ``hang_timeout_s``
+    set, a worker silent past the timeout raises
+    :class:`~repro.errors.WorkerHangError`.  On *every* exit path all
+    worker processes are terminated and joined before the call returns —
+    no leaked children, no leaked manager (there is none).
     """
     if workers < 1:
         raise SimulationError(f"workers must be >= 1, got {workers}")
+    if heartbeat_s <= 0:
+        raise SimulationError(f"heartbeat_s must be positive, got {heartbeat_s}")
     placement = sim.placement
     n_threads = placement.threads
     n_workers = min(workers, n_threads)
@@ -188,20 +261,19 @@ def run_parallel(
     ]
 
     ctx = mp.get_context(start_method)
-    manager = ctx.Manager()
-    pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx)
+    queues = [ctx.Queue(maxsize=queue_depth) for _ in range(n_workers)]
+    procs: list = []
     try:
-        queues = [manager.Queue(maxsize=queue_depth) for _ in range(n_workers)]
-        futures = []
         for w in range(n_workers):
             snapshots = {}
             for t in per_worker[w]:
                 s, c = placement.assignments[t]
                 snapshots[t] = sim.sockets[s].cores[c].state_snapshot()
-            futures.append(
-                pool.submit(
-                    _private_phase_worker,
+            p = ctx.Process(
+                target=_private_phase_worker,
+                args=(
                     queues[w],
+                    w,
                     sim.machine,
                     sim.spec,
                     sim.engine,
@@ -209,16 +281,23 @@ def run_parallel(
                     per_worker[w],
                     [thread_rows[t] for t in per_worker[w]],
                     snapshots,
-                )
+                    fault_plan,
+                    heartbeat_s,
+                ),
+                daemon=True,
             )
+            p.start()
+            procs.append(p)
 
         # Stage 2: merge the per-worker streams in serial round-robin
         # order and replay into the shared L3s as they arrive.
+        watchdog = Watchdog(hang_timeout_s)
         live = list(range(n_threads))
         while live:
             finished = []
             for t in live:
-                kind, msg_t, payload = _pop(queues[owner[t]], futures)
+                w = owner[t]
+                kind, msg_t, payload = _pop(queues[w], procs[w], watchdog)
                 if msg_t != t:
                     raise SimulationError(
                         f"parallel protocol error: expected thread {t}, "
@@ -229,16 +308,35 @@ def run_parallel(
                     sim.sockets[s].cores[c].load_state(payload)
                     finished.append(t)
                 else:
-                    lines, is_write, tags = unpack_miss_stream(payload)
+                    try:
+                        lines, is_write, tags = unpack_miss_stream(payload)
+                    except Exception as exc:
+                        raise WorkerCrashError(
+                            f"corrupt miss-stream payload from worker {w} "
+                            f"(thread {t}): {type(exc).__name__}: {exc}"
+                        ) from exc
                     sim.sockets[s].absorb_miss_stream(lines, is_write, tags)
             for t in finished:
                 live.remove(t)
-        for f in futures:
-            f.result()
-        pool.shutdown(wait=True)
+        for p in procs:
+            p.join(timeout=10.0)
+            if p.exitcode not in (0, None):
+                raise WorkerCrashError(
+                    f"parallel private-phase worker exited with code "
+                    f"{p.exitcode} after the merge completed"
+                )
     finally:
-        # Error path: don't join workers that may be blocked on a full
-        # queue — cancel what never started and tear the manager down,
-        # which unblocks (and terminates) any stuck producer.
-        pool.shutdown(wait=False, cancel_futures=True)
-        manager.shutdown()
+        # Every exit path — success, crash, hang, KeyboardInterrupt —
+        # tears the fleet down deterministically: terminate anything
+        # still running (a worker blocked on a full queue included),
+        # join with a kill escalation, and close the queues.
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=5.0)
+            if p.is_alive():  # pragma: no cover - terminate() sufficed so far
+                p.kill()
+                p.join(timeout=5.0)
+        for q in queues:
+            q.close()

@@ -1,0 +1,176 @@
+"""Checkpoint/resume through the studies: a killed run, resumed, skips
+its completed points and produces output identical to an uninterrupted
+run."""
+
+import importlib.util
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.experiments import cachegrind_study, mrc_study
+from repro.experiments.cachegrind_study import run_cachegrind_study
+from repro.experiments.mrc_study import run_mrc_study
+from repro.robust import CheckpointJournal
+from repro.sim.analytic import calibrate_miss_model
+
+
+def count_calls(monkeypatch, module, name):
+    """Wrap ``module.name`` to count invocations."""
+    real = getattr(module, name)
+    calls = []
+
+    def wrapper(*args, **kwargs):
+        calls.append(args)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(module, name, wrapper)
+    return calls
+
+
+class TestCachegrindResume:
+    KW = dict(n=32, n_rows=2, schemes=("mo", "ho"))
+
+    def test_interrupted_run_resumes_identically(self, tmp_path, monkeypatch):
+        path = tmp_path / "ckpt.jsonl"
+        uninterrupted = run_cachegrind_study(**self.KW)
+
+        # Kill the run after the first scheme completes (and is journaled).
+        real = cachegrind_study._scheme_report
+        done = []
+
+        def dying(*args, **kwargs):
+            if done:
+                raise KeyboardInterrupt("killed mid-study")
+            report = real(*args, **kwargs)
+            done.append(args)
+            return report
+
+        monkeypatch.setattr(cachegrind_study, "_scheme_report", dying)
+        with pytest.raises(KeyboardInterrupt):
+            run_cachegrind_study(checkpoint=path, **self.KW)
+        monkeypatch.undo()
+
+        # The journal holds begin + exactly one completed point.
+        replay = CheckpointJournal(path).replay()
+        assert [k for k, _ in replay.records] == ["begin", "point"]
+
+        calls = count_calls(monkeypatch, cachegrind_study, "_scheme_report")
+        resumed = run_cachegrind_study(checkpoint=path, resume=True, **self.KW)
+        assert len(calls) == 1  # only the missing scheme was recomputed
+        assert resumed == uninterrupted
+
+    def test_resume_with_all_points_recomputes_nothing(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "ckpt.jsonl"
+        first = run_cachegrind_study(checkpoint=path, **self.KW)
+        calls = count_calls(monkeypatch, cachegrind_study, "_scheme_report")
+        second = run_cachegrind_study(checkpoint=path, resume=True, **self.KW)
+        assert calls == []
+        assert second == first
+
+    def test_resume_with_different_params_refuses(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        run_cachegrind_study(checkpoint=path, **self.KW)
+        with pytest.raises(CheckpointError):
+            run_cachegrind_study(
+                checkpoint=path, resume=True, n=64, n_rows=2,
+                schemes=("mo", "ho"),
+            )
+
+    def test_resume_tolerates_corrupt_tail(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        uninterrupted = run_cachegrind_study(checkpoint=path, **self.KW)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 7])  # tear the last record
+        resumed = run_cachegrind_study(checkpoint=path, resume=True, **self.KW)
+        assert resumed == uninterrupted
+
+
+class TestMrcResume:
+    KW = dict(n=16, sample_rows=2, schemes=("rm", "mo"),
+              u_values=(1.0, 4.0))
+
+    def test_interrupted_run_resumes_identically(self, tmp_path, monkeypatch):
+        path = tmp_path / "ckpt.jsonl"
+        uninterrupted = run_mrc_study(**self.KW)
+
+        real = mrc_study._scheme_curve
+        done = []
+
+        def dying(*args, **kwargs):
+            if done:
+                raise KeyboardInterrupt("killed mid-study")
+            curve = real(*args, **kwargs)
+            done.append(args)
+            return curve
+
+        monkeypatch.setattr(mrc_study, "_scheme_curve", dying)
+        with pytest.raises(KeyboardInterrupt):
+            run_mrc_study(checkpoint=path, **self.KW)
+        monkeypatch.undo()
+
+        calls = count_calls(monkeypatch, mrc_study, "_scheme_curve")
+        resumed = run_mrc_study(checkpoint=path, resume=True, **self.KW)
+        assert len(calls) == 1
+        assert resumed == uninterrupted
+
+    def test_float_u_keys_survive_the_journal(self, tmp_path):
+        # The journal is JSON: float dict keys round-trip as pair lists.
+        path = tmp_path / "ckpt.jsonl"
+        first = run_mrc_study(checkpoint=path, **self.KW)
+        second = run_mrc_study(checkpoint=path, resume=True, **self.KW)
+        for a, b in zip(first, second):
+            assert a == b
+            assert list(a.mpi_capacity) == list(b.mpi_capacity)  # key order
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("scipy") is None,
+    reason="calibration fit needs scipy",
+)
+class TestCalibrateResume:
+    KW = dict(scheme="mo", n_values=(16, 32), sample_rows=2)
+
+    def test_interrupted_run_resumes_identically(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        uninterrupted = calibrate_miss_model(**self.KW)
+        calibrate_miss_model(checkpoint=path, **self.KW)
+
+        # Keep begin + the first measured point only.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:2]) + "\n")
+        resumed = calibrate_miss_model(checkpoint=path, resume=True, **self.KW)
+        assert resumed == uninterrupted
+
+    def test_resume_wrong_scheme_refuses(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        calibrate_miss_model(checkpoint=path, **self.KW)
+        with pytest.raises(CheckpointError):
+            calibrate_miss_model(
+                checkpoint=path, resume=True, scheme="rm",
+                n_values=(16, 32), sample_rows=2,
+            )
+
+
+class TestCliCheckpoint:
+    def test_mrc_checkpoint_then_resume(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "mrc.jsonl")
+        args = ["mrc", "--n", "16", "--rows", "2", "--checkpoint", path]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_cachegrind_checkpoint_then_resume(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "cg.jsonl")
+        args = ["cachegrind", "--n", "32", "--rows", "2",
+                "--checkpoint", path]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        assert capsys.readouterr().out == first

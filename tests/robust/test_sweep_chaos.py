@@ -1,0 +1,226 @@
+"""Chaos suite for the sweep engine: retries, typed errors, degradation,
+and on-disk cache hygiene."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.errors import ExperimentError, WorkerCrashError, WorkerHangError
+from repro.experiments import ExperimentRunner
+from repro.experiments.configs import full_grid
+from repro.experiments.sweep import SweepCache, SweepEngine
+from repro.robust import DegradedRunWarning, FaultPlan
+
+
+def small_grid(n=8):
+    return full_grid()[:n]
+
+
+def keys(results):
+    return [(r.config.key, r.seconds, r.package_j) for r in results]
+
+
+def reference(configs):
+    runner = ExperimentRunner()
+    return [runner.run(c) for c in configs]
+
+
+class TestRetries:
+    def test_transient_fault_survived_by_retry(self):
+        configs = small_grid()
+        engine = SweepEngine(
+            workers=2, shard_size=4, retries=2, backoff_s=0.0,
+            fault_plan=FaultPlan.single("transient", worker=0, step=0),
+        )
+        results = engine.run(configs)
+        assert engine.stats.retries >= 1
+        assert keys(results) == keys(reference(configs))
+
+    def test_transient_fault_survived_in_serial_shards(self):
+        # workers=1 runs shards in-process; those never inject, so the
+        # sweep just succeeds with no retries.
+        configs = small_grid()
+        engine = SweepEngine(
+            workers=1, shard_size=4, retries=0,
+            fault_plan=FaultPlan.single("transient", worker=0, step=0),
+        )
+        results = engine.run(configs)
+        assert engine.stats.retries == 0
+        assert keys(results) == keys(reference(configs))
+
+    def test_persistent_transient_exhausts_budget(self):
+        engine = SweepEngine(
+            workers=2, shard_size=4, retries=1, backoff_s=0.0,
+            fault_plan=FaultPlan.single(
+                "transient", worker=0, step=0, attempts=10
+            ),
+        )
+        with pytest.raises(ExperimentError, match="failed after 2 attempts"):
+            engine.run(small_grid())
+
+
+class TestTypedErrors:
+    def test_crash_raises_worker_crash(self):
+        engine = SweepEngine(
+            workers=2, shard_size=4, retries=0,
+            fault_plan=FaultPlan.single("crash", worker=0, step=0, attempts=10),
+        )
+        with pytest.raises(WorkerCrashError, match="shard 0"):
+            engine.run(small_grid())
+
+    def test_hang_raises_worker_hang_within_budget(self):
+        timeout = 1.0
+        engine = SweepEngine(
+            workers=2, shard_size=4, retries=0, timeout_s=timeout,
+            fault_plan=FaultPlan.single("hang", worker=0, step=0, attempts=10),
+        )
+        t0 = time.monotonic()
+        with pytest.raises(WorkerHangError, match="shard 0"):
+            engine.run(small_grid())
+        # Pool spawn costs dominate; the point is it's bounded, not 60 s.
+        assert time.monotonic() - t0 < timeout + 30.0
+
+    def test_corrupt_shard_raises_worker_crash(self):
+        engine = SweepEngine(
+            workers=2, shard_size=4, retries=0,
+            fault_plan=FaultPlan.single(
+                "corrupt", worker=0, step=0, attempts=10
+            ),
+        )
+        with pytest.raises(WorkerCrashError, match="corrupt"):
+            engine.run(small_grid())
+
+    def test_hang_path_terminates_abandoned_workers(self):
+        # Giving up on a hung shard must kill its worker: a merely
+        # abandoned pool would hang the interpreter at exit, when
+        # concurrent.futures joins leftover workers.
+        import multiprocessing
+
+        engine = SweepEngine(
+            workers=2, shard_size=4, retries=0, timeout_s=1.0,
+            fault_plan=FaultPlan.single("hang", worker=0, step=0, attempts=10),
+        )
+        with pytest.raises(WorkerHangError):
+            engine.run(small_grid())
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
+
+    def test_crash_then_retry_succeeds(self):
+        # One crash generation, then the fault's budget is spent: the
+        # respawned pool finishes the shard.
+        configs = small_grid()
+        engine = SweepEngine(
+            workers=2, shard_size=4, retries=2, backoff_s=0.0,
+            fault_plan=FaultPlan.single("crash", worker=0, step=0, attempts=1),
+        )
+        results = engine.run(configs)
+        assert keys(results) == keys(reference(configs))
+
+
+class TestGracefulDegradation:
+    @pytest.mark.parametrize("kind", ["crash", "transient", "corrupt"])
+    def test_serial_fallback_is_bit_identical(self, kind):
+        configs = small_grid()
+        engine = SweepEngine(
+            workers=2, shard_size=4, retries=0, backoff_s=0.0,
+            fault_plan=FaultPlan.single(kind, worker=0, step=0, attempts=10),
+            on_failure="serial",
+        )
+        with pytest.warns(DegradedRunWarning, match="shard 0"):
+            results = engine.run(configs)
+        assert engine.stats.degraded == 1
+        assert keys(results) == keys(reference(configs))
+
+    def test_degradation_logged_in_telemetry(self, tmp_path):
+        log = tmp_path / "telemetry.jsonl"
+        engine = SweepEngine(
+            workers=2, shard_size=4, retries=0, log_path=log,
+            fault_plan=FaultPlan.single("crash", worker=0, step=0, attempts=10),
+            on_failure="serial",
+        )
+        with pytest.warns(DegradedRunWarning):
+            engine.run(small_grid())
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        assert any(e["event"] == "shard_degraded" for e in events)
+
+
+class TestCacheHygiene:
+    FP = "f" * 64
+
+    def make_cache(self, root):
+        return SweepCache(root, self.FP)
+
+    def test_stale_tmp_from_dead_pid_removed(self, tmp_path):
+        cache = self.make_cache(tmp_path)
+        cache.dir.mkdir(parents=True)
+        # A real pid that is certainly dead: a subprocess we already reaped.
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        stale = cache.dir / f".x.json.{proc.pid}.tmp"
+        stale.write_text("{}")
+        self.make_cache(tmp_path)  # re-opening sweeps debris
+        assert not stale.exists()
+
+    def test_unparseable_tmp_removed(self, tmp_path):
+        cache = self.make_cache(tmp_path)
+        cache.dir.mkdir(parents=True)
+        junk = cache.dir / ".x.json.notapid.tmp"
+        junk.write_text("{}")
+        self.make_cache(tmp_path)
+        assert not junk.exists()
+
+    def test_live_foreign_writer_tmp_kept(self, tmp_path):
+        # pid 1 exists and isn't ours; a *recent* tmp from a live writer
+        # must survive the sweep (its os.replace will win the race).
+        cache = self.make_cache(tmp_path)
+        cache.dir.mkdir(parents=True)
+        live = cache.dir / ".x.json.1.tmp"
+        live.write_text("{}")
+        self.make_cache(tmp_path)
+        assert live.exists()
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        engine = SweepEngine(workers=1, cache_dir=tmp_path)
+        cfg = small_grid(1)[0]
+        result = ExperimentRunner(engine.model).run(cfg)
+        engine.cache.put(result)
+        assert engine.cache.get(cfg) is not None
+        path = engine.cache._path(cfg)
+        path.write_text("{ not json")
+        assert engine.cache.get(cfg) is None
+
+    def test_truncated_cache_entry_is_a_miss(self, tmp_path):
+        engine = SweepEngine(workers=1, cache_dir=tmp_path)
+        cfg = small_grid(1)[0]
+        engine.cache.put(ExperimentRunner(engine.model).run(cfg))
+        path = engine.cache._path(cfg)
+        path.write_bytes(path.read_bytes()[:-20])
+        assert engine.cache.get(cfg) is None
+
+    def test_corrupt_entry_recomputed_not_fatal(self, tmp_path):
+        configs = small_grid(4)
+        engine = SweepEngine(workers=1, cache_dir=tmp_path)
+        engine.run(configs)
+        victim = engine.cache._path(configs[0])
+        victim.write_text("garbage")
+        fresh = SweepEngine(workers=1, cache_dir=tmp_path)
+        results = fresh.run(configs)
+        assert keys(results) == keys(reference(configs))
+        assert fresh.stats.cache_hits == 3  # the corrupt one was a miss
+
+    def test_own_pid_tmp_removed_on_open(self, tmp_path):
+        # Our own pid can't have a live writer during __init__.
+        cache = self.make_cache(tmp_path)
+        cache.dir.mkdir(parents=True)
+        own = cache.dir / f".x.json.{os.getpid()}.tmp"
+        own.write_text("{}")
+        self.make_cache(tmp_path)
+        assert not own.exists()

@@ -1,0 +1,44 @@
+"""Watchdog unit tests: silence accounting and the hang verdict."""
+
+import time
+
+import pytest
+
+from repro.errors import WorkerHangError
+from repro.robust import Watchdog
+
+
+class TestWatchdog:
+    def test_disabled_never_expires(self):
+        wd = Watchdog(None)
+        assert not wd.expired()
+        wd.check("ctx")  # never raises
+
+    def test_beat_resets_silence(self):
+        wd = Watchdog(10.0)
+        time.sleep(0.05)
+        before = wd.silence_s
+        wd.beat()
+        assert wd.silence_s < before
+
+    def test_expiry_and_check(self):
+        wd = Watchdog(0.05)
+        assert not wd.expired()
+        time.sleep(0.1)
+        assert wd.expired()
+        with pytest.raises(WorkerHangError, match="no progress"):
+            wd.check("worker 3")
+
+    def test_check_mentions_context(self):
+        wd = Watchdog(0.01)
+        time.sleep(0.05)
+        with pytest.raises(WorkerHangError, match="worker 7"):
+            wd.check("worker 7")
+
+    def test_bad_timeout_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            Watchdog(0.0)
+        with pytest.raises(SimulationError):
+            Watchdog(-1.0)

@@ -10,7 +10,8 @@ even to code that keeps simulating afterwards.
 import numpy as np
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WorkerCrashError
+from repro.robust import FaultPlan
 from repro.sim import (
     CacheSpec,
     MachineSpec,
@@ -18,7 +19,6 @@ from repro.sim import (
     pack_miss_stream,
     unpack_miss_stream,
 )
-from repro.sim.parallel import _FAIL_ENV
 from repro.trace import MatmulTraceSpec
 
 
@@ -182,14 +182,14 @@ class TestFailureModes:
             MulticoreTraceSim(machine(), MatmulTraceSpec.uniform(8, "rm"),
                               workers=0)
 
-    @pytest.mark.parametrize("mode", ["kill", "raise"])
-    def test_worker_crash_raises_not_hangs(self, mode, monkeypatch):
-        monkeypatch.setenv(_FAIL_ENV, f"{mode}:0")
+    @pytest.mark.parametrize("kind", ["crash", "transient"])
+    def test_worker_crash_raises_not_hangs(self, kind):
         sim = MulticoreTraceSim(
             machine(), MatmulTraceSpec.uniform(8, "rm"), 2, 1,
             engine="fast", workers=2,
+            fault_plan=FaultPlan.single(kind, worker=0, step=0),
         )
-        with pytest.raises(SimulationError, match="worker failed"):
+        with pytest.raises(WorkerCrashError, match="worker"):
             sim.run()
 
 

@@ -131,14 +131,35 @@ class TestSweep:
 
 
 class TestErrorHandling:
-    def test_bad_scheme_exits_2(self, capsys):
+    """ReproError -> exit 1; anything else escaping -> exit 2."""
+
+    def test_bad_thread_config_exits_1(self, capsys):
+        assert main(["predict", "--threads", "3x"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("sfc-repro: error:")
+
+    def test_bad_governor_exits_1(self, capsys):
+        assert main(["predict", "--frequency", "performance"]) == 1
+        assert "sfc-repro: error:" in capsys.readouterr().err
+
+    def test_bad_scheme_is_unexpected_exits_2(self, capsys):
+        # The curve modules raise plain ValueError for unknown schemes —
+        # outside the ReproError taxonomy, so the CLI reports it as
+        # unexpected.
         assert main(["predict", "--scheme", "zz"]) == 2
-        assert "error" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unexpected error: ValueError" in err
 
-    def test_bad_thread_config_exits_2(self, capsys):
-        assert main(["predict", "--threads", "3x"]) == 2
-        assert "error" in capsys.readouterr().err
+    def test_resume_without_checkpoint_exits_1(self, capsys):
+        assert main(["mrc", "--resume"]) == 1
+        assert "--checkpoint" in capsys.readouterr().err
 
-    def test_bad_governor_exits_2(self, capsys):
-        assert main(["predict", "--frequency", "performance"]) == 2
-        assert "error" in capsys.readouterr().err
+    def test_debug_reraises_repro_error(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["--debug", "predict", "--threads", "3x"])
+
+    def test_debug_reraises_unexpected_error(self):
+        with pytest.raises(ValueError):
+            main(["--debug", "predict", "--scheme", "zz"])
