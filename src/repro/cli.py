@@ -14,6 +14,13 @@
 * ``atlas``      — the tiled-vs-naive wall-clock comparison.
 * ``hardware``   — the future-work index-hardware study.
 * ``gallery``    — Figures 1/2 as ASCII art.
+* ``trace-report`` — span-tree summary of a ``--trace`` file.
+
+``sweep``/``cachegrind``/``mrc`` accept ``--trace FILE`` (JSONL span
+trace, including worker-process spans), ``--metrics FILE`` (counters/
+gauges/histograms snapshot) and ``--profile`` (sampling profiler +
+per-phase memory peaks); all three are off by default and provably
+inert when off.
 """
 
 from __future__ import annotations
@@ -22,6 +29,37 @@ import argparse
 import sys
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    """Observability sinks shared by the long-running subcommands."""
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="append a structured span trace (JSONL, including "
+                        "worker-process spans) to FILE")
+    p.add_argument("--metrics", default=None, metavar="FILE",
+                   help="write a metrics snapshot (counters/gauges/"
+                        "histograms) to FILE on exit")
+    p.add_argument("--profile", action="store_true",
+                   help="enable the sampling profiler and per-phase memory "
+                        "peaks (requires --trace and/or --metrics)")
+
+
+def _obs_session(args):
+    """An ObsSession for the parsed flags, or an inert null context."""
+    import contextlib
+
+    if getattr(args, "trace", None) or getattr(args, "metrics", None):
+        from repro.obs import ObsSession
+
+        return ObsSession(
+            trace=args.trace, metrics=args.metrics, profile=args.profile,
+            root=args.command,
+        )
+    if getattr(args, "profile", False):
+        from repro.errors import ObservabilityError
+
+        raise ObservabilityError("--profile requires --trace and/or --metrics")
+    return contextlib.nullcontext()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     w.add_argument("--measure", choices=("model", "sampled"), default="model",
                    help="energies straight from the model, or re-measured "
                         "through the 10 Hz RAPL sampling chain")
+    _add_obs_flags(w)
 
     c = sub.add_parser("cachegrind", help="run the Section IV-A study")
     c.add_argument("--n", type=int, default=128, help="scaled problem side")
@@ -94,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="raise",
                    help="worker-failure policy: fail fast, or degrade to "
                         "the bit-identical serial path")
+    _add_obs_flags(c)
 
     m = sub.add_parser("mrc", help="miss-ratio curves (capacity vs conflict)")
     m.add_argument("--n", type=int, default=64, help="problem side")
@@ -110,6 +150,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default="raise",
                    help="worker-failure policy: fail fast, or degrade to "
                         "the bit-identical serial path")
+    _add_obs_flags(m)
+
+    tr = sub.add_parser(
+        "trace-report",
+        help="summarize a --trace file: span tree, self/total time, hotspots",
+    )
+    tr.add_argument("path", help="trace file written by --trace")
+    tr.add_argument("--top", type=int, default=15,
+                    help="rows in the hotspot / profile tables")
 
     a = sub.add_parser("atlas", help="tiled+tuned vs naive wall clock")
     a.add_argument("--side", type=int, default=128)
@@ -238,7 +287,8 @@ def _cmd_sweep(args) -> int:
         measure=args.measure,
         progress=sys.stderr.isatty(),
     )
-    results = engine.run(resume_from=resume_from)
+    with _obs_session(args):
+        results = engine.run(resume_from=resume_from)
     stats = engine.stats
     print(
         f"swept {stats.points} points in {stats.seconds:.3f} s "
@@ -266,12 +316,14 @@ def _cmd_cachegrind(args) -> int:
 
     if args.resume and not args.checkpoint:
         raise ExperimentError("--resume requires --checkpoint")
-    study = run_cachegrind_study(
-        n=args.n, capacity_ratio=args.capacity_ratio, n_rows=args.rows,
-        schemes=("rm", "mo", "ho"), engine=args.engine, workers=args.workers,
-        checkpoint=args.checkpoint, resume=args.resume,
-        on_failure=args.on_failure,
-    )
+    with _obs_session(args):
+        study = run_cachegrind_study(
+            n=args.n, capacity_ratio=args.capacity_ratio, n_rows=args.rows,
+            schemes=("rm", "mo", "ho"), engine=args.engine,
+            workers=args.workers,
+            checkpoint=args.checkpoint, resume=args.resume,
+            on_failure=args.on_failure,
+        )
     print(study.summary())
     print()
     print(study.reports["mo"].annotate())
@@ -284,12 +336,20 @@ def _cmd_mrc(args) -> int:
 
     if args.resume and not args.checkpoint:
         raise ExperimentError("--resume requires --checkpoint")
-    curves = run_mrc_study(
-        n=args.n, sample_rows=args.rows, workers=args.workers,
-        checkpoint=args.checkpoint, resume=args.resume,
-        on_failure=args.on_failure,
-    )
+    with _obs_session(args):
+        curves = run_mrc_study(
+            n=args.n, sample_rows=args.rows, workers=args.workers,
+            checkpoint=args.checkpoint, resume=args.resume,
+            on_failure=args.on_failure,
+        )
     print(render_mrc(curves))
+    return 0
+
+
+def _cmd_trace_report(args) -> int:
+    from repro.obs.report import render_report
+
+    print(render_report(args.path, top=args.top))
     return 0
 
 
@@ -376,6 +436,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "cachegrind": _cmd_cachegrind,
     "mrc": _cmd_mrc,
+    "trace-report": _cmd_trace_report,
     "atlas": _cmd_atlas,
     "hardware": _cmd_hardware,
     "gallery": _cmd_gallery,

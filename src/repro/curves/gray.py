@@ -67,7 +67,8 @@ class GrayMortonCurve(SpaceFillingCurve):
         # The interleaved coordinates are the Gray code of the position:
         # position = gray^-1(morton).
         morton = (dilate2_array(y) << _U64(1)) | dilate2_array(x)
-        return gray_decode(morton)
+        # gray_decode unwraps 0-d arrays to ints; encode() needs an array.
+        return np.asarray(gray_decode(morton), dtype=np.uint64)
 
     def _decode_array(self, d):
         g = np.asarray(gray_encode(d), dtype=np.uint64)

@@ -18,6 +18,7 @@ __all__ = [
     "WorkerCrashError",
     "WorkerHangError",
     "CheckpointError",
+    "ObservabilityError",
 ]
 
 
@@ -70,6 +71,16 @@ class WorkerHangError(SimulationError, ExperimentError):
 
     The watchdog terminated the worker pool before raising, so no live
     children are left behind.
+    """
+
+
+class ObservabilityError(ReproError, RuntimeError):
+    """An observability session or trace file is unusable.
+
+    Raised when a session is configured without any sink, when a trace
+    file cannot be read by ``trace-report``, or contains no spans.  Never
+    raised from the instrumentation hooks themselves — those are no-ops
+    when observability is off and must not perturb the instrumented code.
     """
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
+from repro import obs
 from repro.errors import ExperimentError
 from repro.perf.cachegrind import CachegrindReport, CachegrindSim, TagReport
 from repro.robust import StudyCheckpoint, validate_on_failure, warn_degraded
@@ -92,11 +93,17 @@ def _scheme_report(
     scheme: str,
     prefetch: str,
     engine: str,
+    obs_ctx=None,
 ) -> CachegrindReport:
     """One scheme's full instrumentation run (process-pool task)."""
-    sim = CachegrindSim(machine, prefetch=prefetch, engine=engine)
-    spec = MatmulTraceSpec.uniform(n, scheme)
-    return sim.run(naive_matmul_trace(spec, rows=rows))
+    with obs.attach(obs_ctx), obs.span(
+        "study.cachegrind.scheme", scheme=scheme, n=n
+    ):
+        sim = CachegrindSim(machine, prefetch=prefetch, engine=engine)
+        spec = MatmulTraceSpec.uniform(n, scheme)
+        report = sim.run(naive_matmul_trace(spec, rows=rows))
+        obs.count("study.schemes_done", study="cachegrind")
+        return report
 
 
 def _report_from_payload(payload: dict) -> CachegrindReport:
@@ -174,36 +181,45 @@ def run_cachegrind_study(
             ckpt.record(scheme, asdict(report))
 
     todo = [s for s in schemes if s not in reports]
-    if workers is not None and workers > 1 and len(todo) > 1:
-        import multiprocessing as mp
-        from concurrent.futures import ProcessPoolExecutor
+    with obs.span(
+        "study.cachegrind", n=n, schemes=list(schemes), engine=engine,
+        workers=workers or 0, resumed=len(schemes) - len(todo),
+    ):
+        if workers is not None and workers > 1 and len(todo) > 1:
+            import multiprocessing as mp
+            from concurrent.futures import ProcessPoolExecutor
 
-        ctx = mp.get_context("spawn")
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(todo)), mp_context=ctx
-        ) as pool:
-            futures = {
-                scheme: pool.submit(
-                    _scheme_report, machine, n, rows, scheme, prefetch, engine
-                )
-                for scheme in todo
-            }
-            for scheme, fut in futures.items():
-                try:
-                    finish(scheme, fut.result())
-                except Exception as exc:
-                    if on_failure != "serial":
-                        raise
-                    warn_degraded("run_cachegrind_study", f"{scheme}: {exc}")
-                    finish(
-                        scheme,
-                        _scheme_report(machine, n, rows, scheme, prefetch, engine),
+            ctx = mp.get_context("spawn")
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(todo)), mp_context=ctx
+            ) as pool:
+                futures = {
+                    scheme: pool.submit(
+                        _scheme_report, machine, n, rows, scheme, prefetch,
+                        engine, obs.worker_context(),
                     )
-    else:
-        for scheme in todo:
-            finish(
-                scheme, _scheme_report(machine, n, rows, scheme, prefetch, engine)
-            )
+                    for scheme in todo
+                }
+                for scheme, fut in futures.items():
+                    try:
+                        finish(scheme, fut.result())
+                    except Exception as exc:
+                        if on_failure != "serial":
+                            raise
+                        warn_degraded("run_cachegrind_study", f"{scheme}: {exc}")
+                        obs.count("study.degradations", study="cachegrind")
+                        finish(
+                            scheme,
+                            _scheme_report(
+                                machine, n, rows, scheme, prefetch, engine
+                            ),
+                        )
+        else:
+            for scheme in todo:
+                finish(
+                    scheme,
+                    _scheme_report(machine, n, rows, scheme, prefetch, engine),
+                )
     # Scheme order in the output is the caller's order regardless of
     # which schemes came from the journal.
     return CachegrindStudyResult(

@@ -23,6 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ExperimentError
 from repro.robust import StudyCheckpoint, validate_on_failure, warn_degraded
 from repro.sim.cache import Cache
@@ -64,25 +65,30 @@ def _scheme_curve(
     caps: dict[float, int],
     line_bytes: int,
     assoc: int,
+    obs_ctx=None,
 ) -> MissRatioCurve:
     """One scheme's full decomposition (process-pool task)."""
-    spec = MatmulTraceSpec.uniform(n, scheme)
-    trace = list(naive_matmul_trace(spec, rows=rows))
-    dists = reuse_distances(iter(trace), line_bytes=line_bytes)
-    capacity_misses = miss_curve(dists, caps.values())
-    mpi_cap = {u: capacity_misses[c] / iterations for u, c in caps.items()}
-    mpi_tot = {}
-    for u, cap_lines in caps.items():
-        cache = Cache(
-            CacheSpec("mrc", cap_lines * line_bytes, line_bytes, assoc)
+    with obs.attach(obs_ctx), obs.span(
+        "study.mrc.scheme", scheme=scheme, n=n, capacities=len(caps)
+    ):
+        spec = MatmulTraceSpec.uniform(n, scheme)
+        trace = list(naive_matmul_trace(spec, rows=rows))
+        dists = reuse_distances(iter(trace), line_bytes=line_bytes)
+        capacity_misses = miss_curve(dists, caps.values())
+        mpi_cap = {u: capacity_misses[c] / iterations for u, c in caps.items()}
+        mpi_tot = {}
+        for u, cap_lines in caps.items():
+            cache = Cache(
+                CacheSpec("mrc", cap_lines * line_bytes, line_bytes, assoc)
+            )
+            for chunk in trace:
+                cache.access_chunk(chunk)
+            mpi_tot[u] = cache.stats.misses / iterations
+        obs.count("study.schemes_done", study="mrc")
+        return MissRatioCurve(
+            scheme=scheme, n=n, assoc=assoc,
+            mpi_capacity=mpi_cap, mpi_total=mpi_tot,
         )
-        for chunk in trace:
-            cache.access_chunk(chunk)
-        mpi_tot[u] = cache.stats.misses / iterations
-    return MissRatioCurve(
-        scheme=scheme, n=n, assoc=assoc,
-        mpi_capacity=mpi_cap, mpi_total=mpi_tot,
-    )
 
 
 def _curve_to_payload(curve: MissRatioCurve) -> dict:
@@ -175,40 +181,48 @@ def run_mrc_study(
             ckpt.record(scheme, _curve_to_payload(curve))
 
     todo = [s for s in schemes if s not in curves]
-    if workers is not None and workers > 1 and len(todo) > 1:
-        import multiprocessing as mp
-        from concurrent.futures import ProcessPoolExecutor
+    with obs.span(
+        "study.mrc", n=n, schemes=list(schemes), workers=workers or 0,
+        resumed=len(schemes) - len(todo),
+    ):
+        if workers is not None and workers > 1 and len(todo) > 1:
+            import multiprocessing as mp
+            from concurrent.futures import ProcessPoolExecutor
 
-        ctx = mp.get_context("spawn")
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(todo)), mp_context=ctx
-        ) as pool:
-            futures = {
-                scheme: pool.submit(
-                    _scheme_curve, scheme, n, rows, iterations, caps,
-                    line_bytes, assoc,
-                )
-                for scheme in todo
-            }
-            for scheme, fut in futures.items():
-                try:
-                    finish(scheme, fut.result())
-                except Exception as exc:
-                    if on_failure != "serial":
-                        raise
-                    warn_degraded("run_mrc_study", f"{scheme}: {exc}")
-                    finish(
-                        scheme,
-                        _scheme_curve(
-                            scheme, n, rows, iterations, caps, line_bytes, assoc
-                        ),
+            ctx = mp.get_context("spawn")
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(todo)), mp_context=ctx
+            ) as pool:
+                futures = {
+                    scheme: pool.submit(
+                        _scheme_curve, scheme, n, rows, iterations, caps,
+                        line_bytes, assoc, obs.worker_context(),
                     )
-    else:
-        for scheme in todo:
-            finish(
-                scheme,
-                _scheme_curve(scheme, n, rows, iterations, caps, line_bytes, assoc),
-            )
+                    for scheme in todo
+                }
+                for scheme, fut in futures.items():
+                    try:
+                        finish(scheme, fut.result())
+                    except Exception as exc:
+                        if on_failure != "serial":
+                            raise
+                        warn_degraded("run_mrc_study", f"{scheme}: {exc}")
+                        obs.count("study.degradations", study="mrc")
+                        finish(
+                            scheme,
+                            _scheme_curve(
+                                scheme, n, rows, iterations, caps, line_bytes,
+                                assoc,
+                            ),
+                        )
+        else:
+            for scheme in todo:
+                finish(
+                    scheme,
+                    _scheme_curve(
+                        scheme, n, rows, iterations, caps, line_bytes, assoc
+                    ),
+                )
     return [curves[s] for s in schemes]
 
 

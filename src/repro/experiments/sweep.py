@@ -44,6 +44,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.errors import ExperimentError, WorkerCrashError, WorkerHangError
 from repro.experiments.configs import SampleConfig, full_grid
 from repro.experiments.results import ResultSet, SampleResult
@@ -346,16 +347,24 @@ def _pool_run_shard(
     shard_index: int,
     attempt: int,
     fault_plan: FaultPlan | None,
+    obs_ctx=None,
 ) -> list[SampleResult]:
-    return _evaluate_shard(
-        shard,
-        _worker_state["runner"],
-        _worker_state["measure"],
-        _worker_state["sample_hz"],
-        shard_index=shard_index,
+    with obs.attach(obs_ctx), obs.span(
+        "sweep.shard",
+        _mem=True,
+        shard=shard_index,
+        points=len(shard),
         attempt=attempt,
-        fault_plan=fault_plan,
-    )
+    ):
+        return _evaluate_shard(
+            shard,
+            _worker_state["runner"],
+            _worker_state["measure"],
+            _worker_state["sample_hz"],
+            shard_index=shard_index,
+            attempt=attempt,
+            fault_plan=fault_plan,
+        )
 
 
 # -- engine --------------------------------------------------------------------
@@ -469,6 +478,13 @@ class SweepEngine:
         are skipped, counted as resumed, and included in the output.
         """
         configs = list(configs) if configs is not None else full_grid()
+        with obs.span(
+            "sweep.run", points=len(configs), workers=self.workers,
+            measure=self.measure,
+        ) as run_span:
+            return self._run_traced(configs, resume_from, run_span)
+
+    def _run_traced(self, configs, resume_from, run_span) -> ResultSet:
         telemetry = SweepTelemetry(self.log_path, progress=self.progress)
         stats = self.stats = SweepStats(workers=self.workers)
         t0 = time.monotonic()
@@ -530,6 +546,18 @@ class SweepEngine:
         )
         telemetry.close()
 
+        obs.count("sweep.points", stats.points)
+        obs.count("sweep.cache_hits", stats.cache_hits)
+        obs.count("sweep.retries", stats.retries)
+        obs.count("sweep.degraded", stats.degraded)
+        obs.gauge("sweep.cache_hit_rate", round(stats.cache_hit_rate, 6))
+        run_span.set(
+            shards=stats.shards,
+            cache_hits=stats.cache_hits,
+            retries=stats.retries,
+            degraded=stats.degraded,
+        )
+
         out = ResultSet()
         for cfg in configs:  # input order — identical to the serial runner
             out.add(by_key[cfg.key])
@@ -566,6 +594,7 @@ class SweepEngine:
             attempt=attempt,
         )
         done = len(by_key)
+        obs.count("sweep.shards_done")
         telemetry.progress_line(done, stats.points, stats)
 
     def _validate_shard(self, job) -> None:
@@ -657,9 +686,13 @@ class SweepEngine:
             while True:
                 t0 = time.monotonic()
                 try:
-                    job.results = _evaluate_shard(
-                        job.configs, runner, self.measure, self.sample_hz
-                    )
+                    with obs.span(
+                        "sweep.shard", shard=job.index,
+                        points=len(job.configs), attempt=job.attempts,
+                    ):
+                        job.results = _evaluate_shard(
+                            job.configs, runner, self.measure, self.sample_hz
+                        )
                 except Exception as exc:
                     if self._retry_or_raise(job, exc, telemetry, stats, by_key):
                         break
@@ -712,6 +745,7 @@ class SweepEngine:
                             executor.submit(
                                 _pool_run_shard, job.configs, job.index,
                                 job.attempts, self.fault_plan,
+                                obs.worker_context(),
                             ),
                         ))
                     except BrokenProcessPool as exc:

@@ -1,0 +1,65 @@
+"""Observability layer: structured tracing, metrics, profiling hooks.
+
+Off by default and provably inert — until an :class:`ObsSession` (or a
+worker-side :class:`attach`) installs sinks into the process-global
+:data:`OBS` state, every hook here is a single ``None`` check:
+
+    from repro import obs
+
+    with obs.span("sweep.shard", shard=3):   # no-op unless tracing is on
+        ...
+    obs.count("cache.accesses", n, level="L1")  # no-op unless metrics on
+
+Sessions come from the CLI (``--trace FILE --metrics FILE [--profile]``
+on ``cachegrind``/``mrc``/``sweep``) or directly::
+
+    with obs.ObsSession(trace="run.jsonl", metrics="run.json"):
+        run_cachegrind_study(...)
+
+``sfc-repro trace-report run.jsonl`` renders the resulting span tree.
+The report module pulls in journal/replay machinery, so it is imported
+lazily — instrumented hot paths importing :mod:`repro.obs` stay light.
+"""
+
+from repro.obs.core import (
+    NULL_SPAN,
+    OBS,
+    ObsSession,
+    Span,
+    SpanContext,
+    TraceRecorder,
+    attach,
+    count,
+    gauge,
+    metrics_active,
+    observe,
+    phase_span,
+    profiling_active,
+    span,
+    tracing_active,
+    worker_context,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.redact import redact, redact_str
+
+__all__ = [
+    "NULL_SPAN",
+    "OBS",
+    "MetricsRegistry",
+    "ObsSession",
+    "Span",
+    "SpanContext",
+    "TraceRecorder",
+    "attach",
+    "count",
+    "gauge",
+    "metrics_active",
+    "observe",
+    "phase_span",
+    "profiling_active",
+    "redact",
+    "redact_str",
+    "span",
+    "tracing_active",
+    "worker_context",
+]

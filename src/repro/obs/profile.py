@@ -1,0 +1,77 @@
+"""Opt-in sampling profiler (pure stdlib, no external dependencies).
+
+A daemon thread periodically snapshots the main thread's stack via
+``sys._current_frames()`` and aggregates leaf frames, yielding a
+statistical "where is time spent" table with near-zero instrumentation
+cost in the profiled code itself.  Enabled only by
+``ObsSession(profile=True)`` / the ``--profile`` CLI flag; it never runs
+by default.
+
+The result dict is embedded in the trace (``kind="profile"``) and in the
+metrics snapshot; frame locations are redacted before either reaches
+disk (see :mod:`repro.obs.redact`).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+__all__ = ["SamplingProfiler"]
+
+
+class SamplingProfiler:
+    """Sample the calling thread's leaf frame at a fixed rate."""
+
+    def __init__(self, hz: float = 67.0, top: int = 50):
+        self.hz = hz
+        self.top = top
+        self._interval = 1.0 / hz
+        self._target_tid = threading.get_ident()
+        self._samples: dict[tuple[str, int, str], int] = {}
+        self._n_samples = 0
+        self._stop = threading.Event()
+        self._thread = None
+        self._t0 = None
+
+    def start(self) -> None:
+        self._t0 = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="obs-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            frame = sys._current_frames().get(self._target_tid)
+            if frame is None:
+                continue
+            code = frame.f_code
+            key = (code.co_filename, frame.f_lineno, code.co_name)
+            self._samples[key] = self._samples.get(key, 0) + 1
+            self._n_samples += 1
+            del frame
+
+    def stop(self) -> dict:
+        """Stop sampling and return the aggregated profile."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        elapsed = time.perf_counter() - self._t0 if self._t0 is not None else 0.0
+        ranked = sorted(
+            self._samples.items(), key=lambda kv: (-kv[1], kv[0])
+        )[: self.top]
+        return {
+            "hz": self.hz,
+            "duration_s": round(elapsed, 6),
+            "samples": self._n_samples,
+            "top": [
+                {
+                    "site": f"{filename}:{lineno}",
+                    "func": func,
+                    "samples": n,
+                }
+                for (filename, lineno, func), n in ranked
+            ],
+        }

@@ -1,0 +1,55 @@
+"""Redaction of machine-local absolute paths from observability output.
+
+Trace reports and metrics snapshots are meant to be committed as golden
+artifacts and diffed across machines, so anything that looks like an
+absolute filesystem path is rewritten to ``<redacted>/<basename>``
+before it reaches disk or a terminal.  A trailing ``:<line>`` suffix
+(profiler frames) survives redaction.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["redact", "redact_str"]
+
+# Unix absolute (/...), home-relative (~...), or Windows drive (C:\...)
+# paths, optionally ending in ":<digits>" (a source location).  The
+# leading anchor keeps relative paths ("tests/golden/x.json") and
+# embedded slashes ("3/4") untouched: an absolute path must start the
+# string or follow whitespace/punctuation.
+_PATH_RE = re.compile(
+    r"(?:^|(?<=[\s\"'=(\[{,]))"
+    r"(?:~?/|[A-Za-z]:[\\/])[^\s'\"<>|]*[\\/][^\s'\"<>|\\/]+"
+)
+
+
+def _replace(match: re.Match) -> str:
+    path = match.group(0)
+    line = ""
+    m = re.search(r":(\d+)$", path)
+    if m:
+        line = m.group(0)
+        path = path[: m.start()]
+    basename = re.split(r"[\\/]", path)[-1]
+    return f"<redacted>/{basename}{line}"
+
+
+def redact_str(text: str) -> str:
+    """Replace every absolute path embedded in ``text``."""
+    return _PATH_RE.sub(_replace, text)
+
+
+def redact(obj):
+    """Recursively redact paths in strings inside dicts/lists/tuples.
+
+    Dict *keys* are redacted too — profiler hotspot tables key frames by
+    ``file:line``.  Non-string scalars pass through unchanged.
+    """
+    if isinstance(obj, str):
+        return redact_str(obj)
+    if isinstance(obj, dict):
+        return {redact(k): redact(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [redact(v) for v in obj]
+    return obj

@@ -1,0 +1,170 @@
+"""Render a trace file into a span-tree summary (``sfc-repro trace-report``).
+
+Traces are checkpoint-journal-format JSONL, so loading reuses
+:meth:`repro.robust.journal.CheckpointJournal.replay` — integrity
+verification and torn-tail tolerance come for free (a trace cut short by
+a crash still reports, with a note about the dropped tail).
+
+The report shows the span tree (total wall per span), an aggregate
+hotspot table by span name with *self* time (total minus direct
+children), and the sampling-profiler table when one was recorded.  All
+output is passed through :func:`repro.obs.redact.redact_str` so reports
+never leak machine-local absolute paths.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+from repro.obs.redact import redact, redact_str
+from repro.robust.journal import CheckpointJournal
+
+__all__ = ["load_trace", "render_report"]
+
+_MAX_TREE_DEPTH = 8
+_MAX_CHILDREN = 24
+
+
+def load_trace(path: str | Path) -> dict:
+    """Parse a trace file into spans/profile/diagnostics.
+
+    Returns ``{"spans": [payload, ...], "profile": dict | None,
+    "begin": dict | None, "dropped": int, "tail_error": str | None}``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ObservabilityError(f"trace file not found: {path}")
+    replayed = CheckpointJournal(path).replay()
+    spans = [p for kind, p in replayed.records if kind == "span"]
+    begins = [p for kind, p in replayed.records if kind == "trace_begin"]
+    profiles = [p for kind, p in replayed.records if kind == "profile"]
+    return {
+        "spans": spans,
+        "begin": begins[0] if begins else None,
+        "profile": profiles[-1] if profiles else None,
+        "dropped": replayed.dropped,
+        "tail_error": replayed.tail_error,
+    }
+
+
+def _build_tree(spans: list[dict]):
+    """Index spans by id and group children under parents.
+
+    Spans whose parent never closed (crash) or is missing become roots;
+    children keep file order, which is close to completion order.
+    """
+    by_id = {s["span"]: s for s in spans}
+    children: dict[str | None, list[dict]] = {}
+    roots = []
+    for s in spans:
+        parent = s.get("parent")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(s)
+        else:
+            roots.append(s)
+    return roots, children
+
+
+def _aggregate(spans: list[dict], children: dict) -> list[dict]:
+    """Per-name totals: calls, total wall, self wall (minus children), cpu."""
+    agg: dict[str, dict] = {}
+    for s in spans:
+        child_wall = sum(c["wall_s"] for c in children.get(s["span"], ()))
+        row = agg.setdefault(
+            s["name"],
+            {"name": s["name"], "calls": 0, "total_s": 0.0, "self_s": 0.0,
+             "cpu_s": 0.0, "mem_peak_kb": None},
+        )
+        row["calls"] += 1
+        row["total_s"] += s["wall_s"]
+        row["self_s"] += max(0.0, s["wall_s"] - child_wall)
+        row["cpu_s"] += s["cpu_s"]
+        mem = s.get("mem_peak_kb")
+        if mem is not None:
+            row["mem_peak_kb"] = max(row["mem_peak_kb"] or 0.0, mem)
+    return sorted(agg.values(), key=lambda r: (-r["self_s"], r["name"]))
+
+
+def _fmt_attrs(s: dict) -> str:
+    attrs = s.get("attrs")
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+    return f"  [{inner}]"
+
+
+def _render_span(s, children, lines, depth):
+    mem = s.get("mem_peak_kb")
+    mem_txt = f"  mem_peak={mem:.0f}KiB" if mem is not None else ""
+    lines.append(
+        f"{'  ' * depth}{s['name']}  wall={s['wall_s']:.4f}s "
+        f"cpu={s['cpu_s']:.4f}s{mem_txt}{_fmt_attrs(s)}"
+    )
+    kids = children.get(s["span"], ())
+    if depth + 1 >= _MAX_TREE_DEPTH and kids:
+        lines.append(f"{'  ' * (depth + 1)}... ({len(kids)} nested spans)")
+        return
+    for c in kids[:_MAX_CHILDREN]:
+        _render_span(c, children, lines, depth + 1)
+    if len(kids) > _MAX_CHILDREN:
+        lines.append(
+            f"{'  ' * (depth + 1)}... ({len(kids) - _MAX_CHILDREN} more)"
+        )
+
+
+def render_report(path: str | Path, top: int = 15) -> str:
+    """Human-readable span-tree + hotspot report for one trace file."""
+    trace = load_trace(path)
+    spans = trace["spans"]
+    if not spans:
+        raise ObservabilityError(f"trace contains no spans: {Path(path).name}")
+    roots, children = _build_tree(spans)
+    pids = sorted({s["pid"] for s in spans})
+
+    lines = []
+    begin = trace["begin"]
+    trace_id = begin["trace_id"] if begin else spans[0].get("trace_id", "?")
+    lines.append(f"trace {trace_id}")
+    lines.append(
+        f"  spans={len(spans)}  processes={len(pids)}  roots={len(roots)}"
+    )
+    if trace["dropped"]:
+        lines.append(
+            f"  WARNING: {trace['dropped']} damaged trailing record(s) "
+            f"dropped ({trace['tail_error']})"
+        )
+    lines.append("")
+    lines.append("span tree (wall time):")
+    for root in roots:
+        _render_span(root, children, lines, 1)
+
+    lines.append("")
+    lines.append(f"hotspots by self time (top {top}):")
+    header = (
+        f"  {'name':<28} {'calls':>6} {'self_s':>10} {'total_s':>10} "
+        f"{'cpu_s':>10} {'mem_peak':>9}"
+    )
+    lines.append(header)
+    for row in _aggregate(spans, children)[:top]:
+        mem = row["mem_peak_kb"]
+        mem_txt = f"{mem:.0f}KiB" if mem is not None else "-"
+        lines.append(
+            f"  {row['name']:<28} {row['calls']:>6} {row['self_s']:>10.4f} "
+            f"{row['total_s']:>10.4f} {row['cpu_s']:>10.4f} {mem_txt:>9}"
+        )
+
+    profile = trace["profile"]
+    if profile:
+        profile = redact(profile)
+        lines.append("")
+        lines.append(
+            f"sampling profile ({profile['samples']} samples "
+            f"@ {profile['hz']:g}Hz over {profile['duration_s']:.2f}s):"
+        )
+        for entry in profile["top"][:top]:
+            lines.append(
+                f"  {entry['samples']:>6}  {entry['func']}  ({entry['site']})"
+            )
+
+    return redact_str("\n".join(lines))

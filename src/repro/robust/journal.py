@@ -106,6 +106,11 @@ class CheckpointJournal:
             os.fsync(fd)
         finally:
             os.close(fd)
+        # Lazy import: repro.obs.core imports payload_sha from this
+        # module, so a top-level obs import here would be circular.
+        from repro.obs import count
+
+        count("journal.appends", kind=kind)
 
     def replay(self) -> JournalReplay:
         """Read the journal back, verifying every record.

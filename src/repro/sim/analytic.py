@@ -304,30 +304,37 @@ def calibrate_miss_model(
         }
         ckpt = StudyCheckpoint(checkpoint, "calibrate_miss_model", params,
                                resume=resume)
+    from repro import obs
+
     us, mpis = [], []
-    for n in n_values:
-        if ckpt is not None and ckpt.done(str(n)):
-            point = ckpt.get(str(n))
-            us.append(point["u"])
-            mpis.append(point["mpi"])
-            continue
-        spec = MatmulTraceSpec.uniform(n, scheme)
-        sim = MulticoreTraceSim(
-            machine, spec, threads=1, sockets_used=1, workers=workers,
-            on_failure=on_failure,
-        )
-        mid = n // 2
-        sim.run(rows=[mid - 1])  # warm-up row
-        before = sim.result().l3.misses
-        rows = [mid + r for r in range(sample_rows)]
-        sim.run(rows=rows)
-        misses = sim.result().l3.misses - before
-        u = 3 * 8 * n * n / l3_bytes
-        mpi = misses / (sample_rows * n * n)
-        if ckpt is not None:
-            ckpt.record(str(n), {"u": u, "mpi": mpi})
-        us.append(u)
-        mpis.append(mpi)
+    with obs.span(
+        "study.calibrate", scheme=scheme, sizes=list(n_values),
+        workers=workers or 0,
+    ):
+        for n in n_values:
+            if ckpt is not None and ckpt.done(str(n)):
+                point = ckpt.get(str(n))
+                us.append(point["u"])
+                mpis.append(point["mpi"])
+                continue
+            spec = MatmulTraceSpec.uniform(n, scheme)
+            sim = MulticoreTraceSim(
+                machine, spec, threads=1, sockets_used=1, workers=workers,
+                on_failure=on_failure,
+            )
+            mid = n // 2
+            sim.run(rows=[mid - 1])  # warm-up row
+            before = sim.result().l3.misses
+            rows = [mid + r for r in range(sample_rows)]
+            sim.run(rows=rows)
+            misses = sim.result().l3.misses - before
+            u = 3 * 8 * n * n / l3_bytes
+            mpi = misses / (sample_rows * n * n)
+            if ckpt is not None:
+                ckpt.record(str(n), {"u": u, "mpi": mpi})
+            obs.count("calibrate.sizes_done", scheme=scheme)
+            us.append(u)
+            mpis.append(mpi)
     us_arr = np.asarray(us)
     mpi_arr = np.asarray(mpis)
 

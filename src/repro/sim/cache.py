@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs import OBS
 from repro.sim.config import CacheSpec
 from repro.trace.events import TraceChunk
 
@@ -256,9 +257,18 @@ class Cache:
         st.evictions += evictions
         st.writebacks += writebacks
         st.prefetches += prefetches
-        return finalize_chunk_stats(
+        out = finalize_chunk_stats(
             st, lines, is_write, tags, np.asarray(miss_idx, dtype=np.int64)
         )
+        m = OBS.metrics
+        if m is not None:
+            level = self.spec.name
+            m.count("cache.accesses", n, level=level, engine="exact")
+            m.count("cache.misses", len(miss_idx), level=level, engine="exact")
+            m.count(
+                "cache.hits", n - len(miss_idx), level=level, engine="exact"
+            )
+        return out
 
     def access_chunk(self, chunk: TraceChunk) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Byte-address convenience wrapper around :meth:`access_lines`."""

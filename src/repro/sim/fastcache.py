@@ -60,6 +60,7 @@ import logging
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs import OBS, phase_span
 from repro.sim.cache import Cache, CacheStats, finalize_chunk_stats
 from repro.sim.config import CacheSpec
 from repro.sim.stackdist import _line_reuse_distances
@@ -164,14 +165,27 @@ class FastCache:
             raise SimulationError("line number collides with the empty-way sentinel")
 
         if self.spec.n_sets == 1:
-            miss_idx, evictions, writebacks = self._run_fully_assoc(lines, is_write)
+            with phase_span("fastcache.fully_assoc", level=self.spec.name, n=n):
+                miss_idx, evictions, writebacks = self._run_fully_assoc(
+                    lines, is_write
+                )
         else:
-            miss_idx, evictions, writebacks = self._run_wavefront(lines, is_write)
+            with phase_span("fastcache.wavefront", level=self.spec.name, n=n):
+                miss_idx, evictions, writebacks = self._run_wavefront(
+                    lines, is_write
+                )
 
         st = self.stats
         st.evictions += evictions
         st.writebacks += writebacks
-        return finalize_chunk_stats(st, lines, is_write, tags, miss_idx)
+        out = finalize_chunk_stats(st, lines, is_write, tags, miss_idx)
+        m = OBS.metrics
+        if m is not None:
+            level = self.spec.name
+            m.count("cache.accesses", n, level=level, engine="fast")
+            m.count("cache.misses", len(miss_idx), level=level, engine="fast")
+            m.count("cache.hits", n - len(miss_idx), level=level, engine="fast")
+        return out
 
     # ------------------------------------------------------------------
     # Fully-associative path: decide the whole chunk offline.

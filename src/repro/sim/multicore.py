@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.robust import FaultPlan, validate_on_failure, warn_degraded
 from repro.sim.config import MachineSpec
@@ -176,32 +177,41 @@ class MulticoreTraceSim:
         restores the pre-run cache state and redoes the run serially.
         """
         thread_rows = self._thread_rows(rows)
-        if self.workers is not None:
-            from repro.sim.parallel import run_parallel
+        with obs.span(
+            "sim.multicore.run",
+            n=self.spec.n,
+            threads=self.placement.threads,
+            schedule=self.schedule,
+            engine=self.engine,
+            workers=self.workers or 0,
+        ):
+            if self.workers is not None:
+                from repro.sim.parallel import run_parallel
 
-            checkpoint = (
-                self._state_snapshot() if self.on_failure == "serial" else None
-            )
-            extra = (
-                {} if self.heartbeat_s is None
-                else {"heartbeat_s": self.heartbeat_s}
-            )
-            try:
-                run_parallel(
-                    self,
-                    thread_rows,
-                    workers=self.workers,
-                    fault_plan=self.fault_plan,
-                    hang_timeout_s=self.hang_timeout_s,
-                    **extra,
+                checkpoint = (
+                    self._state_snapshot() if self.on_failure == "serial" else None
                 )
-                return self.result()
-            except SimulationError as exc:
-                if checkpoint is None:
-                    raise
-                warn_degraded("MulticoreTraceSim", str(exc))
-                self._load_state(checkpoint)
-        return self._run_serial(thread_rows)
+                extra = (
+                    {} if self.heartbeat_s is None
+                    else {"heartbeat_s": self.heartbeat_s}
+                )
+                try:
+                    run_parallel(
+                        self,
+                        thread_rows,
+                        workers=self.workers,
+                        fault_plan=self.fault_plan,
+                        hang_timeout_s=self.hang_timeout_s,
+                        **extra,
+                    )
+                    return self.result()
+                except SimulationError as exc:
+                    if checkpoint is None:
+                        raise
+                    warn_degraded("MulticoreTraceSim", str(exc))
+                    obs.count("sim.degradations")
+                    self._load_state(checkpoint)
+            return self._run_serial(thread_rows)
 
     def _run_serial(self, thread_rows: list[list[int]]) -> HierarchyResult:
         """The reference in-process loop (also the degradation target)."""
@@ -212,6 +222,7 @@ class MulticoreTraceSim:
             for trows in thread_rows
         ]
         live = list(range(self.placement.threads))
+        chunks = 0
         while live:
             finished = []
             for t in live:
@@ -222,8 +233,10 @@ class MulticoreTraceSim:
                     continue
                 socket, core = self.placement.assignments[t]
                 self.sockets[socket].access_chunk(core, chunk)
+                chunks += 1
             for t in finished:
                 live.remove(t)
+        obs.count("sim.chunks", chunks, path="serial")
         return self.result()
 
     def _state_snapshot(self) -> list[dict]:

@@ -63,11 +63,13 @@ from __future__ import annotations
 import io
 import multiprocessing as mp
 import queue as queue_mod
+import sys
 import time
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError, WorkerCrashError
 from repro.robust import DEFAULT_HEARTBEAT_S, FaultPlan, Watchdog, corrupt_blob, execute_fault
 from repro.sim.config import MachineSpec
@@ -132,13 +134,16 @@ def _private_phase_worker(
     snapshots: dict[int, dict],
     fault_plan: FaultPlan | None,
     heartbeat_s: float,
+    obs_ctx=None,
 ) -> None:
     """Stage 1: simulate this worker's threads' private L1/L2.
 
     Mirrors the serial round-robin loop over the assigned thread subset,
     so the queue's message order matches the parent's consumption order.
     ``fault_plan`` faults fire by chunk step; exceptions are shipped back
-    as an error message rather than dying silently.
+    as an error message rather than dying silently.  ``obs_ctx`` (a
+    :class:`repro.obs.SpanContext` or ``None``) re-attaches the parent's
+    trace so this worker's spans land in the same tree.
     """
     last_send = time.monotonic()
 
@@ -148,41 +153,48 @@ def _private_phase_worker(
         last_send = time.monotonic()
 
     try:
-        cores: dict[int, CoreHierarchy] = {}
-        gens: dict[int, object] = {}
-        for t, rows in zip(thread_ids, thread_rows):
-            core = CoreHierarchy(machine, engine=engine)
-            snap = snapshots.get(t)
-            if snap is not None:
-                core.load_state(snap)
-            cores[t] = core
-            gens[t] = naive_matmul_trace(
-                spec, rows=rows, cols_per_chunk=cols_per_chunk
-            )
-        step = 0
-        live = list(thread_ids)
-        while live:
-            finished = []
-            for t in live:
-                if time.monotonic() - last_send >= heartbeat_s:
-                    send((_MSG_HEARTBEAT, worker_id, None))
-                fault = fault_plan.fire(worker_id, step) if fault_plan else None
-                if fault is not None and fault.kind != "corrupt":
-                    execute_fault(fault)
-                step += 1
-                try:
-                    chunk = next(gens[t])
-                except StopIteration:
-                    send((_MSG_DONE, t, cores[t].state_snapshot()))
-                    finished.append(t)
-                    continue
-                lines, w, tags = cores[t].access_chunk(chunk)
-                blob = pack_miss_stream(lines, w, tags)
-                if fault is not None and fault.kind == "corrupt":
-                    blob = corrupt_blob(blob)
-                send((_MSG_MISS, t, blob))
-            for t in finished:
-                live.remove(t)
+        with obs.attach(obs_ctx), obs.span(
+            "parallel.worker",
+            _mem=True,
+            worker=worker_id,
+            threads=list(thread_ids),
+        ) as wspan:
+            cores: dict[int, CoreHierarchy] = {}
+            gens: dict[int, object] = {}
+            for t, rows in zip(thread_ids, thread_rows):
+                core = CoreHierarchy(machine, engine=engine)
+                snap = snapshots.get(t)
+                if snap is not None:
+                    core.load_state(snap)
+                cores[t] = core
+                gens[t] = naive_matmul_trace(
+                    spec, rows=rows, cols_per_chunk=cols_per_chunk
+                )
+            step = 0
+            live = list(thread_ids)
+            while live:
+                finished = []
+                for t in live:
+                    if time.monotonic() - last_send >= heartbeat_s:
+                        send((_MSG_HEARTBEAT, worker_id, None))
+                    fault = fault_plan.fire(worker_id, step) if fault_plan else None
+                    if fault is not None and fault.kind != "corrupt":
+                        execute_fault(fault)
+                    step += 1
+                    try:
+                        chunk = next(gens[t])
+                    except StopIteration:
+                        send((_MSG_DONE, t, cores[t].state_snapshot()))
+                        finished.append(t)
+                        continue
+                    lines, w, tags = cores[t].access_chunk(chunk)
+                    blob = pack_miss_stream(lines, w, tags)
+                    if fault is not None and fault.kind == "corrupt":
+                        blob = corrupt_blob(blob)
+                    send((_MSG_MISS, t, blob))
+                for t in finished:
+                    live.remove(t)
+            wspan.set(chunks=step)
     except BaseException as exc:  # ship the failure; never die silently
         out_queue.put((_MSG_ERROR, worker_id, f"{type(exc).__name__}: {exc}"))
 
@@ -214,6 +226,7 @@ def _pop(q, proc, watchdog: Watchdog, poll_s: float = 0.05):
         watchdog.beat()
         kind = msg[0]
         if kind == _MSG_HEARTBEAT:
+            obs.count("parallel.heartbeats")
             continue
         if kind == _MSG_ERROR:
             raise WorkerCrashError(
@@ -263,7 +276,10 @@ def run_parallel(
     ctx = mp.get_context(start_method)
     queues = [ctx.Queue(maxsize=queue_depth) for _ in range(n_workers)]
     procs: list = []
+    run_span = obs.span("parallel.run", workers=n_workers, threads=n_threads)
     try:
+        run_span.__enter__()
+        obs_ctx = obs.worker_context()
         for w in range(n_workers):
             snapshots = {}
             for t in per_worker[w]:
@@ -283,6 +299,7 @@ def run_parallel(
                     snapshots,
                     fault_plan,
                     heartbeat_s,
+                    obs_ctx,
                 ),
                 daemon=True,
             )
@@ -291,33 +308,38 @@ def run_parallel(
 
         # Stage 2: merge the per-worker streams in serial round-robin
         # order and replay into the shared L3s as they arrive.
-        watchdog = Watchdog(hang_timeout_s)
-        live = list(range(n_threads))
-        while live:
-            finished = []
-            for t in live:
-                w = owner[t]
-                kind, msg_t, payload = _pop(queues[w], procs[w], watchdog)
-                if msg_t != t:
-                    raise SimulationError(
-                        f"parallel protocol error: expected thread {t}, "
-                        f"got {msg_t}"
-                    )
-                s, c = placement.assignments[t]
-                if kind == _MSG_DONE:
-                    sim.sockets[s].cores[c].load_state(payload)
-                    finished.append(t)
-                else:
-                    try:
-                        lines, is_write, tags = unpack_miss_stream(payload)
-                    except Exception as exc:
-                        raise WorkerCrashError(
-                            f"corrupt miss-stream payload from worker {w} "
-                            f"(thread {t}): {type(exc).__name__}: {exc}"
-                        ) from exc
-                    sim.sockets[s].absorb_miss_stream(lines, is_write, tags)
-            for t in finished:
-                live.remove(t)
+        with obs.span("parallel.l3_replay", _mem=True) as replay_span:
+            watchdog = Watchdog(hang_timeout_s)
+            chunks = 0
+            live = list(range(n_threads))
+            while live:
+                finished = []
+                for t in live:
+                    w = owner[t]
+                    kind, msg_t, payload = _pop(queues[w], procs[w], watchdog)
+                    if msg_t != t:
+                        raise SimulationError(
+                            f"parallel protocol error: expected thread {t}, "
+                            f"got {msg_t}"
+                        )
+                    s, c = placement.assignments[t]
+                    if kind == _MSG_DONE:
+                        sim.sockets[s].cores[c].load_state(payload)
+                        finished.append(t)
+                    else:
+                        try:
+                            lines, is_write, tags = unpack_miss_stream(payload)
+                        except Exception as exc:
+                            raise WorkerCrashError(
+                                f"corrupt miss-stream payload from worker {w} "
+                                f"(thread {t}): {type(exc).__name__}: {exc}"
+                            ) from exc
+                        sim.sockets[s].absorb_miss_stream(lines, is_write, tags)
+                        chunks += 1
+                for t in finished:
+                    live.remove(t)
+            replay_span.set(chunks=chunks)
+        obs.count("sim.chunks", chunks, path="parallel")
         for p in procs:
             p.join(timeout=10.0)
             if p.exitcode not in (0, None):
@@ -340,3 +362,4 @@ def run_parallel(
                 p.join(timeout=5.0)
         for q in queues:
             q.close()
+        run_span.__exit__(*sys.exc_info())

@@ -1,0 +1,63 @@
+"""Golden-regression suite: tiny end-to-end runs pinned to committed JSON.
+
+These catch *unintentional* numeric drift anywhere in the pipeline —
+trace generation, cache simulation, MRC stacking, the sweep engine.
+Intentional changes regenerate the artifacts::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+"""
+
+from dataclasses import asdict
+
+from repro.experiments import run_cachegrind_study, run_mrc_study
+from repro.experiments.configs import SampleConfig
+from repro.experiments.sweep import SweepEngine
+
+
+class TestCachegrindGolden:
+    def test_tiny_study(self, golden):
+        study = run_cachegrind_study(n=32, n_rows=3)
+        golden.check(
+            "cachegrind_n32_rows3",
+            {
+                "n": study.n,
+                "rows": list(study.rows),
+                "reports": {
+                    s: asdict(r) for s, r in sorted(study.reports.items())
+                },
+            },
+        )
+
+
+class TestMrcGolden:
+    def test_tiny_study(self, golden):
+        curves = run_mrc_study(
+            n=16, schemes=("rm", "mo"), u_values=(1.0, 4.0), sample_rows=1
+        )
+        golden.check(
+            "mrc_n16_rm_mo",
+            [
+                {
+                    "scheme": c.scheme,
+                    "n": c.n,
+                    "assoc": c.assoc,
+                    "mpi_capacity": sorted(c.mpi_capacity.items()),
+                    "mpi_total": sorted(c.mpi_total.items()),
+                }
+                for c in curves
+            ],
+        )
+
+
+class TestSweepGolden:
+    def test_small_grid(self, golden):
+        configs = [
+            SampleConfig(scheme, size, 2.6, threads)
+            for scheme in ("rm", "mo")
+            for size in (10, 11)
+            for threads in ("1s", "8s")
+        ]
+        results = SweepEngine(workers=1, cache_dir=None).run(configs)
+        golden.check(
+            "sweep_8pt_grid", [r.to_dict() for r in results]
+        )

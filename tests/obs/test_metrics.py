@@ -1,0 +1,94 @@
+"""Metrics registry: series keys, histograms, snapshots, redacted writes."""
+
+import json
+
+from repro.obs.metrics import Histogram, MetricsRegistry, series_key
+
+
+class TestSeriesKey:
+    def test_bare_name(self):
+        assert series_key("hits", {}) == "hits"
+
+    def test_labels_sorted(self):
+        assert (
+            series_key("hits", {"level": "L1", "engine": "fast"})
+            == "hits{engine=fast,level=L1}"
+        )
+
+
+class TestCounters:
+    def test_accumulates(self):
+        m = MetricsRegistry()
+        m.count("c")
+        m.count("c", 4)
+        assert m.counter_value("c") == 5
+
+    def test_labelled_series_independent(self):
+        m = MetricsRegistry()
+        m.count("c", 1, level="L1")
+        m.count("c", 2, level="L2")
+        assert m.counter_value("c", level="L1") == 1
+        assert m.counter_value("c", level="L2") == 2
+        assert m.counter_value("c") == 0
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        m = MetricsRegistry()
+        m.gauge("g", 1)
+        m.gauge("g", 7.5)
+        assert m.snapshot()["gauges"]["g"] == 7.5
+
+
+class TestHistogram:
+    def test_basic_stats(self):
+        h = Histogram()
+        for v in (1, 2, 3, 100):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == 106
+        assert snap["min"] == 1 and snap["max"] == 100
+
+    def test_power_of_two_buckets(self):
+        h = Histogram()
+        h.observe(0.5)   # le_2^0
+        h.observe(3)     # le_2^2
+        h.observe(100)   # le_2^7
+        assert h.snapshot()["buckets"] == {
+            "le_2^0": 1, "le_2^2": 1, "le_2^7": 1,
+        }
+
+    def test_registry_observe(self):
+        m = MetricsRegistry()
+        m.observe("lat", 5, stage="replay")
+        m.observe("lat", 9, stage="replay")
+        snap = m.snapshot()["histograms"]["lat{stage=replay}"]
+        assert snap["count"] == 2 and snap["sum"] == 14
+
+
+class TestSnapshot:
+    def test_deterministic_key_order(self):
+        m = MetricsRegistry()
+        m.count("z")
+        m.count("a")
+        assert list(m.snapshot()["counters"]) == ["a", "z"]
+
+    def test_versioned(self):
+        assert MetricsRegistry().snapshot()["v"] == 1
+
+    def test_write_is_redacted(self, tmp_path):
+        m = MetricsRegistry()
+        m.gauge("cache.dir", f"{tmp_path}/sweep-cache")
+        out = tmp_path / "m.json"
+        m.write(out)
+        snap = json.loads(out.read_text())
+        assert snap["gauges"]["cache.dir"] == "<redacted>/sweep-cache"
+        assert str(tmp_path) not in out.read_text()
+
+    def test_write_atomic_no_tmp_left(self, tmp_path):
+        m = MetricsRegistry()
+        out = tmp_path / "m.json"
+        m.write(out)
+        assert out.exists()
+        assert not list(tmp_path.glob("*.tmp"))

@@ -1,0 +1,107 @@
+"""Cross-process trace propagation: one tree covering parent + workers."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro import obs
+from repro.experiments import run_cachegrind_study
+from repro.obs.report import load_trace, render_report
+from repro.sim import CacheSpec, MachineSpec, MulticoreTraceSim
+from repro.trace import MatmulTraceSpec
+
+
+def machine():
+    return MachineSpec(
+        name="mini16",
+        sockets=2,
+        cores_per_socket=8,
+        l1=CacheSpec("L1", 512, 64, 2),
+        l2=CacheSpec("L2", 2048, 64, 4),
+        l3=CacheSpec("L3", 16 * 1024, 64, 8),
+    )
+
+
+def span_tree_is_connected(spans):
+    """Every span's parent resolves within the trace (or is a root)."""
+    ids = {s["span"] for s in spans}
+    roots = [s for s in spans if s["parent"] is None]
+    dangling = [
+        s for s in spans
+        if s["parent"] is not None and s["parent"] not in ids
+    ]
+    return roots, dangling
+
+
+class TestParallelSimTrace:
+    def test_workers2_single_tree(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        spec = MatmulTraceSpec.uniform(32, "mo")
+        sim0 = MulticoreTraceSim(
+            machine(), spec, threads=2, sockets_used=1, workers=2
+        )
+        r0 = sim0.run(rows=[14, 15, 16])
+        with obs.ObsSession(trace=path):
+            sim = MulticoreTraceSim(
+                machine(), spec, threads=2, sockets_used=1, workers=2
+            )
+            r1 = sim.run(rows=[14, 15, 16])
+
+        # tracing didn't perturb the simulation
+        assert r0.l3.misses == r1.l3.misses
+        assert r0.dram_lines == r1.dram_lines
+
+        t = load_trace(path)
+        assert t["dropped"] == 0
+        spans = t["spans"]
+        names = {s["name"] for s in spans}
+        assert {"session", "sim.multicore.run", "parallel.run",
+                "parallel.l3_replay", "parallel.worker"} <= names
+
+        # worker spans come from distinct worker processes
+        worker_spans = [s for s in spans if s["name"] == "parallel.worker"]
+        assert len(worker_spans) == 2
+        parent_pid = next(
+            s["pid"] for s in spans if s["name"] == "parallel.run"
+        )
+        worker_pids = {s["pid"] for s in worker_spans}
+        assert len(worker_pids) == 2 and parent_pid not in worker_pids
+
+        # one connected tree: workers parent under parallel.run
+        roots, dangling = span_tree_is_connected(spans)
+        assert len(roots) == 1 and roots[0]["name"] == "session"
+        assert not dangling
+        run_id = next(
+            s["span"] for s in spans if s["name"] == "parallel.run"
+        )
+        assert all(w["parent"] == run_id for w in worker_spans)
+
+        report = render_report(path)
+        assert "parallel.worker" in report
+        assert str(tmp_path) not in report
+
+
+class TestStudyPoolTrace:
+    def test_cachegrind_pool_workers_traced(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with obs.ObsSession(trace=path):
+            traced = run_cachegrind_study(n=32, n_rows=2, workers=2)
+        baseline = run_cachegrind_study(n=32, n_rows=2)
+        assert {s: asdict(r) for s, r in traced.reports.items()} == {
+            s: asdict(r) for s, r in baseline.reports.items()
+        }
+
+        t = load_trace(path)
+        spans = t["spans"]
+        scheme_spans = [
+            s for s in spans if s["name"] == "study.cachegrind.scheme"
+        ]
+        assert {s["attrs"]["scheme"] for s in scheme_spans} == {
+            "mo", "ho"
+        }  # defaults
+        study_pid = next(
+            s["pid"] for s in spans if s["name"] == "study.cachegrind"
+        )
+        assert any(s["pid"] != study_pid for s in scheme_spans)
+        roots, dangling = span_tree_is_connected(spans)
+        assert len(roots) == 1 and not dangling

@@ -1,0 +1,220 @@
+"""Tracing core: span nesting, journal format, sessions, contexts."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.errors import ObservabilityError
+from repro.obs.core import OBS
+from repro.robust.journal import CheckpointJournal, payload_sha
+
+
+def spans_of(path):
+    replay = CheckpointJournal(path).replay()
+    assert replay.dropped == 0
+    return [p for k, p in replay.records if k == "span"]
+
+
+class TestDisabledPath:
+    def test_span_returns_null_singleton(self):
+        assert obs.span("x") is obs.NULL_SPAN
+        assert obs.span("y", a=1) is obs.NULL_SPAN
+        assert obs.phase_span("z") is obs.NULL_SPAN
+
+    def test_null_span_is_reentrant_noop(self):
+        with obs.span("x") as s:
+            with obs.span("x") as inner:
+                inner.set(k=2)
+            s.set(k=1)
+
+    def test_metric_hooks_noop(self):
+        obs.count("c")
+        obs.gauge("g", 1.5)
+        obs.observe("h", 3)
+        assert OBS.metrics is None
+
+    def test_activity_predicates(self):
+        assert not obs.tracing_active()
+        assert not obs.metrics_active()
+        assert not obs.profiling_active()
+
+    def test_worker_context_none_when_off(self):
+        assert obs.worker_context() is None
+
+    def test_attach_none_is_noop(self):
+        with obs.attach(None):
+            assert OBS.recorder is None
+
+
+class TestRecorder:
+    def test_records_are_journal_format(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with obs.ObsSession(trace=path):
+            with obs.span("work", n=3):
+                pass
+        for line in path.read_text().splitlines():
+            rec = json.loads(line)
+            assert rec["v"] == 1
+            assert rec["sha"] == payload_sha(rec["kind"], rec["payload"])
+
+    def test_span_tree_nesting(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with obs.ObsSession(trace=path):
+            with obs.span("outer"):
+                with obs.span("inner.a"):
+                    pass
+                with obs.span("inner.b"):
+                    pass
+        spans = spans_of(path)
+        by_name = {s["name"]: s for s in spans}
+        # children close before parents; all four spans present
+        assert set(by_name) == {"session", "outer", "inner.a", "inner.b"}
+        assert by_name["inner.a"]["parent"] == by_name["outer"]["span"]
+        assert by_name["inner.b"]["parent"] == by_name["outer"]["span"]
+        assert by_name["outer"]["parent"] == by_name["session"]["span"]
+        assert by_name["session"]["parent"] is None
+
+    def test_span_ids_unique_and_pid_scoped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with obs.ObsSession(trace=path):
+            for _ in range(5):
+                with obs.span("w"):
+                    pass
+        spans = spans_of(path)
+        ids = [s["span"] for s in spans]
+        assert len(set(ids)) == len(ids)
+        pid_hex = f"{os.getpid():x}"
+        assert all(i.startswith(pid_hex + ".") for i in ids)
+
+    def test_timings_and_attrs(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with obs.ObsSession(trace=path):
+            with obs.span("work", scheme="mo") as s:
+                s.set(points=7)
+        (work,) = [s for s in spans_of(path) if s["name"] == "work"]
+        assert work["wall_s"] >= 0 and work["cpu_s"] >= 0
+        assert work["attrs"] == {"scheme": "mo", "points": 7}
+
+    def test_exception_recorded_and_propagates(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.ObsSession(trace=path):
+                with obs.span("explode"):
+                    raise RuntimeError("boom")
+        (sp,) = [s for s in spans_of(path) if s["name"] == "explode"]
+        assert sp["attrs"]["error"] == "RuntimeError"
+
+    def test_non_json_attrs_coerced(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with obs.ObsSession(trace=path):
+            with obs.span("w", rows=range(3), sizes=(1, 2)):
+                pass
+        (w,) = [s for s in spans_of(path) if s["name"] == "w"]
+        assert w["attrs"]["rows"] == "range(0, 3)"
+        assert w["attrs"]["sizes"] == [1, 2]
+
+    def test_appends_to_existing_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        for _ in range(2):
+            with obs.ObsSession(trace=path):
+                pass
+        replay = CheckpointJournal(path).replay()
+        kinds = [k for k, _ in replay.records]
+        assert kinds.count("trace_begin") == 2
+
+
+class TestSession:
+    def test_requires_a_sink(self):
+        with pytest.raises(ObservabilityError, match="sink"):
+            obs.ObsSession()
+
+    def test_state_restored_on_exit(self, tmp_path):
+        with obs.ObsSession(trace=tmp_path / "t.jsonl"):
+            assert obs.tracing_active()
+        assert not obs.tracing_active()
+        assert OBS.metrics is None and not OBS.profile
+
+    def test_state_restored_on_error(self, tmp_path):
+        with pytest.raises(ValueError):
+            with obs.ObsSession(trace=tmp_path / "t.jsonl"):
+                raise ValueError("x")
+        assert not obs.tracing_active()
+
+    def test_metrics_only_session(self, tmp_path):
+        mpath = tmp_path / "m.json"
+        with obs.ObsSession(metrics=mpath):
+            obs.count("events", 3)
+            assert not obs.tracing_active()
+        snap = json.loads(mpath.read_text())
+        assert snap["counters"]["events"] == 3
+
+    def test_profile_session_embeds_profile(self, tmp_path):
+        tpath, mpath = tmp_path / "t.jsonl", tmp_path / "m.json"
+        with obs.ObsSession(trace=tpath, metrics=mpath, profile=True):
+            sum(i * i for i in range(200_000))
+        replay = CheckpointJournal(tpath).replay()
+        (prof,) = [p for k, p in replay.records if k == "profile"]
+        assert prof["hz"] == 67.0 and prof["samples"] >= 0
+        snap = json.loads(mpath.read_text())
+        assert "profile" in snap
+
+    def test_bad_profile_hz(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="profile_hz"):
+            obs.ObsSession(trace=tmp_path / "t.jsonl", profile_hz=0)
+
+
+class TestSpanContext:
+    def test_context_is_picklable(self, tmp_path):
+        import pickle
+
+        with obs.ObsSession(trace=tmp_path / "t.jsonl"):
+            with obs.span("parent"):
+                ctx = obs.worker_context()
+                clone = pickle.loads(pickle.dumps(ctx))
+        assert clone == ctx
+        assert clone.parent_id is not None
+
+    def test_attach_parents_under_context(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with obs.ObsSession(trace=path):
+            with obs.span("parent"):
+                ctx = obs.worker_context()
+        # Simulate the worker side: fresh attach in the same process.
+        with obs.attach(ctx):
+            with obs.span("child"):
+                pass
+        spans = spans_of(path)
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["child"]["parent"] == by_name["parent"]["span"]
+        assert not obs.tracing_active()
+
+    def test_attach_does_not_install_metrics(self, tmp_path):
+        with obs.ObsSession(trace=tmp_path / "t.jsonl"):
+            ctx = obs.worker_context()
+        with obs.attach(ctx):
+            assert OBS.metrics is None
+
+    def test_profile_flag_rides_context(self, tmp_path):
+        with obs.ObsSession(trace=tmp_path / "t.jsonl", profile=True):
+            ctx = obs.worker_context()
+        assert ctx.profile
+        with obs.attach(ctx):
+            assert obs.profiling_active()
+        assert not obs.profiling_active()
+
+
+class TestPhaseSpan:
+    def test_inert_without_profile(self, tmp_path):
+        with obs.ObsSession(trace=tmp_path / "t.jsonl"):
+            assert obs.phase_span("hot") is obs.NULL_SPAN
+
+    def test_emitted_with_profile_and_captures_memory(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with obs.ObsSession(trace=path, profile=True):
+            with obs.phase_span("hot"):
+                data = bytearray(4 << 20)
+                del data
+        (hot,) = [s for s in spans_of(path) if s["name"] == "hot"]
+        assert hot["mem_peak_kb"] > 4000

@@ -1,0 +1,164 @@
+"""trace-report rendering + the path-redaction regression suite."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ObservabilityError
+from repro.obs.redact import redact, redact_str
+from repro.obs.report import load_trace, render_report
+
+
+def make_trace(path, profile=False):
+    with obs.ObsSession(trace=path, profile=profile):
+        with obs.span("outer", scheme="mo"):
+            with obs.span("inner"):
+                sum(range(10000))
+    return path
+
+
+class TestRedaction:
+    """Regression: reports and snapshots must be machine-independent."""
+
+    def test_absolute_unix_path(self):
+        assert redact_str("/home/user/repo/trace.jsonl") == "<redacted>/trace.jsonl"
+
+    def test_home_relative_path(self):
+        assert redact_str("~/work/out.json") == "<redacted>/out.json"
+
+    def test_windows_drive_path(self):
+        assert redact_str(r"C:\Users\u\trace.jsonl") == "<redacted>/trace.jsonl"
+
+    def test_profiler_frame_keeps_line_number(self):
+        got = redact_str("/usr/lib/python3.12/threading.py:637")
+        assert got == "<redacted>/threading.py:637"
+
+    def test_path_inside_sentence(self):
+        got = redact_str("wrote /tmp/xyz/m.json and exited")
+        assert got == "wrote <redacted>/m.json and exited"
+
+    def test_relative_paths_untouched(self):
+        assert redact_str("tests/golden/data/x.json") == "tests/golden/data/x.json"
+
+    def test_non_paths_untouched(self):
+        assert redact_str("ratio 3/4 holds") == "ratio 3/4 holds"
+
+    def test_recursive_over_structures(self):
+        obj = {
+            "/root/a/b.py:3": ["/var/t/x.jsonl", {"k": "/opt/q/y.json"}],
+            "n": 3,
+        }
+        got = redact(obj)
+        assert got == {
+            "<redacted>/b.py:3": ["<redacted>/x.jsonl", {"k": "<redacted>/y.json"}],
+            "n": 3,
+        }
+
+    def test_report_output_has_no_absolute_paths(self, tmp_path):
+        trace = make_trace(tmp_path / "t.jsonl", profile=True)
+        # Make sure there is at least one path-bearing attr in the trace.
+        report = render_report(trace)
+        assert str(tmp_path) not in report
+
+    def test_metrics_snapshot_has_no_absolute_paths(self, tmp_path):
+        mpath = tmp_path / "m.json"
+        with obs.ObsSession(metrics=mpath):
+            obs.gauge("telemetry.path", str(tmp_path / "tele.jsonl"))
+        text = mpath.read_text()
+        assert str(tmp_path) not in text
+        assert "<redacted>/tele.jsonl" in text
+
+
+class TestLoadTrace:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="not found"):
+            load_trace(tmp_path / "nope.jsonl")
+
+    def test_loads_spans_and_begin(self, tmp_path):
+        trace = make_trace(tmp_path / "t.jsonl")
+        t = load_trace(trace)
+        assert {s["name"] for s in t["spans"]} == {"session", "outer", "inner"}
+        assert t["begin"]["trace_id"].startswith("t")
+        assert t["dropped"] == 0
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        trace = make_trace(tmp_path / "t.jsonl")
+        with open(trace, "a") as fh:
+            fh.write('{"v": 1, "kind": "span", "payl')  # torn write
+        t = load_trace(trace)
+        assert t["dropped"] == 1
+        assert {s["name"] for s in t["spans"]} == {"session", "outer", "inner"}
+
+
+class TestRenderReport:
+    def test_tree_and_hotspots(self, tmp_path):
+        trace = make_trace(tmp_path / "t.jsonl")
+        report = render_report(trace)
+        assert "span tree (wall time)" in report
+        assert "hotspots by self time" in report
+        # nesting: inner indented under outer under session (look only at
+        # the tree section — the hotspot table repeats the names)
+        lines = report.splitlines()
+        tree = lines[:next(
+            i for i, l in enumerate(lines) if l.startswith("hotspots")
+        )]
+        (outer_line,) = [l for l in tree if l.lstrip().startswith("outer")]
+        (inner_line,) = [l for l in tree if l.lstrip().startswith("inner")]
+        assert len(inner_line) - len(inner_line.lstrip()) > (
+            len(outer_line) - len(outer_line.lstrip())
+        )
+
+    def test_attrs_rendered(self, tmp_path):
+        trace = make_trace(tmp_path / "t.jsonl")
+        assert "scheme=mo" in render_report(trace)
+
+    def test_self_time_excludes_children(self, tmp_path):
+        trace = make_trace(tmp_path / "t.jsonl")
+        t = load_trace(trace)
+        by_name = {s["name"]: s for s in t["spans"]}
+        lines = render_report(trace).splitlines()
+        table = lines[lines.index(next(
+            l for l in lines if l.startswith("hotspots")
+        )) + 2:]
+        # outer's total includes inner; its self time must be smaller.
+        for line in table:
+            parts = line.split()
+            if parts and parts[0] == "outer":
+                self_s, total_s = float(parts[2]), float(parts[3])
+                assert self_s <= total_s
+                # the table renders 4 decimals; compare at that precision
+                assert total_s == pytest.approx(
+                    by_name["outer"]["wall_s"], abs=5.1e-5
+                )
+                break
+        else:
+            pytest.fail("outer row not found in hotspot table")
+
+    def test_empty_trace_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ObservabilityError, match="no spans"):
+            render_report(path)
+
+    def test_torn_tail_warning_shown(self, tmp_path):
+        trace = make_trace(tmp_path / "t.jsonl")
+        with open(trace, "a") as fh:
+            fh.write("garbage\n")
+        assert "damaged trailing record" in render_report(trace)
+
+    def test_profile_section(self, tmp_path):
+        trace = make_trace(tmp_path / "t.jsonl", profile=True)
+        assert "sampling profile" in render_report(trace)
+
+    def test_crash_orphan_spans_become_roots(self, tmp_path):
+        # A worker whose parent span never closed (crash): its spans
+        # still render, as additional roots.
+        path = tmp_path / "t.jsonl"
+        with obs.ObsSession(trace=path):
+            ctx = obs.SpanContext(
+                path=str(path), trace_id="tX", parent_id="dead.99",
+            )
+            with obs.attach(ctx):
+                with obs.span("orphan"):
+                    pass
+        report = render_report(path)
+        assert "orphan" in report

@@ -1,0 +1,81 @@
+"""Property-based tests for the curve bijections (Hypothesis).
+
+Each registered ordering maps ``(y, x)`` on an ``side x side`` grid
+bijectively onto ``[0, side**2)``.  Hypothesis explores random orders,
+coordinates and indices; small orders are additionally checked
+exhaustively as full permutations.  Skips gracefully when Hypothesis is
+not installed (it is exercised by the dedicated CI job).
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.curves import get_curve  # noqa: E402
+
+# Power-of-two-sided curves (side = 2**order) and the ternary Peano
+# curve (side = 3**order).  "brm" needs a block-size argument and is
+# covered by its unit tests.
+POW2_CODES = ["rm", "cm", "mo", "ho", "go", "holut"]
+
+pow2_cases = st.integers(min_value=0, max_value=6).flatmap(
+    lambda order: st.tuples(
+        st.just(1 << order),
+        st.integers(0, (1 << order) - 1),
+        st.integers(0, (1 << order) - 1),
+    )
+)
+peano_cases = st.integers(min_value=0, max_value=4).flatmap(
+    lambda order: st.tuples(
+        st.just(3**order),
+        st.integers(0, 3**order - 1),
+        st.integers(0, 3**order - 1),
+    )
+)
+
+
+def case_strategy(code):
+    return peano_cases if code == "po" else pow2_cases
+
+
+@pytest.mark.parametrize("code", POW2_CODES + ["po"])
+class TestRoundTrip:
+    @given(data=st.data())
+    def test_encode_decode_roundtrip(self, code, data):
+        side, y, x = data.draw(case_strategy(code))
+        curve = get_curve(code, side)
+        d = curve.encode(y, x)
+        assert 0 <= d < side * side
+        assert curve.decode(d) == (y, x)
+
+    @given(data=st.data())
+    def test_decode_encode_roundtrip(self, code, data):
+        side, y, x = data.draw(case_strategy(code))
+        d0 = y * side + x  # reuse the coords draw as an index draw
+        curve = get_curve(code, side)
+        yy, xx = curve.decode(d0)
+        assert 0 <= yy < side and 0 <= xx < side
+        assert curve.encode(yy, xx) == d0
+
+    @given(data=st.data())
+    def test_scalar_matches_array_path(self, code, data):
+        side, y, x = data.draw(case_strategy(code))
+        curve = get_curve(code, side)
+        scalar = curve.encode(y, x)
+        arr = curve.encode(
+            np.array([y], dtype=np.uint64), np.array([x], dtype=np.uint64)
+        )
+        assert int(arr[0]) == scalar
+
+
+@pytest.mark.parametrize("code", POW2_CODES + ["po"])
+def test_small_orders_are_full_permutations(code):
+    """Exhaustive check: every small grid is a bijection onto the range."""
+    base = 3 if code == "po" else 2
+    for order in range(0, 4 if base == 2 else 3):
+        side = base**order
+        curve = get_curve(code, side)
+        grid = curve.position_grid()
+        assert sorted(grid.ravel().tolist()) == list(range(side * side))

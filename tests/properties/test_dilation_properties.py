@@ -1,0 +1,88 @@
+"""Property-based tests for Raman–Wise dilation arithmetic (Hypothesis).
+
+The shift/mask ladders in :mod:`repro.curves.dilation` are validated
+against the naive one-bit-at-a-time oracle and their own inverses over
+the full coordinate domains (32-bit for 2-D, 21-bit for 3-D).
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.curves.dilation import (  # noqa: E402
+    MAX_COORD_BITS_2D,
+    MAX_COORD_BITS_3D,
+    contract2,
+    contract2_array,
+    contract3,
+    contract3_array,
+    dilate2,
+    dilate2_array,
+    dilate3,
+    dilate3_array,
+    dilated_add2,
+    dilated_increment2,
+)
+from repro.util.bits import interleave_bits_naive  # noqa: E402
+
+coord2 = st.integers(0, (1 << MAX_COORD_BITS_2D) - 1)
+coord3 = st.integers(0, (1 << MAX_COORD_BITS_3D) - 1)
+
+
+class TestRoundTrip:
+    @given(coord2)
+    def test_contract2_inverts_dilate2(self, x):
+        assert contract2(dilate2(x)) == x
+
+    @given(coord3)
+    def test_contract3_inverts_dilate3(self, x):
+        assert contract3(dilate3(x)) == x
+
+    @given(st.lists(coord2, min_size=1, max_size=32))
+    def test_array_roundtrip_2d(self, xs):
+        arr = np.array(xs, dtype=np.uint64)
+        assert np.array_equal(contract2_array(dilate2_array(arr)), arr)
+
+    @given(st.lists(coord3, min_size=1, max_size=32))
+    def test_array_roundtrip_3d(self, xs):
+        arr = np.array(xs, dtype=np.uint64)
+        assert np.array_equal(contract3_array(dilate3_array(arr)), arr)
+
+
+class TestAgainstOracle:
+    @given(coord2)
+    def test_scalar_matches_array_2d(self, x):
+        arr = dilate2_array(np.array([x], dtype=np.uint64))
+        assert int(arr[0]) == dilate2(x)
+
+    @given(coord3)
+    def test_scalar_matches_array_3d(self, x):
+        arr = dilate3_array(np.array([x], dtype=np.uint64))
+        assert int(arr[0]) == dilate3(x)
+
+    @given(coord2, coord2)
+    def test_interleave_is_shifted_dilations(self, major, minor):
+        assert interleave_bits_naive(major, minor, MAX_COORD_BITS_2D) == (
+            (dilate2(major) << 1) | dilate2(minor)
+        )
+
+
+class TestDilatedArithmetic:
+    @given(coord2.filter(lambda v: v < 1 << 31), coord2.filter(lambda v: v < 1 << 31))
+    def test_add_homomorphism(self, a, b):
+        # Keep the sum inside the 32-bit coordinate domain.
+        s = (a + b) & ((1 << MAX_COORD_BITS_2D) - 1)
+        assert dilated_add2(dilate2(a), dilate2(b)) == dilate2(s)
+
+    @given(coord2)
+    def test_increment_is_add_one(self, a):
+        s = (a + 1) & ((1 << MAX_COORD_BITS_2D) - 1)
+        assert dilated_increment2(dilate2(a)) == dilate2(s)
+
+    @given(coord2)
+    def test_add_rejects_undilated(self, a):
+        bad = dilate2(a) | 0b10  # force an odd (gap) bit on
+        with pytest.raises(ValueError):
+            dilated_add2(bad, 0)

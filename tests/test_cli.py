@@ -130,6 +130,54 @@ class TestSweep:
         assert engine.stats.points == 216
 
 
+class TestObservabilityFlags:
+    def test_cachegrind_trace_metrics_profile(self, capsys, tmp_path):
+        trace = str(tmp_path / "run.jsonl")
+        metrics = str(tmp_path / "run.json")
+        assert main(["cachegrind", "--n", "32", "--rows", "2",
+                     "--trace", trace, "--metrics", metrics,
+                     "--profile"]) == 0
+        assert "HO / MO ratio" in capsys.readouterr().out
+
+        import json
+
+        snap = json.loads((tmp_path / "run.json").read_text())
+        assert any(k.startswith("cache.accesses") for k in snap["counters"])
+        assert "profile" in snap
+
+        assert main(["trace-report", trace, "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "study.cachegrind" in out
+        assert "hotspots by self time" in out
+
+    def test_mrc_trace(self, capsys, tmp_path):
+        trace = str(tmp_path / "mrc.jsonl")
+        assert main(["mrc", "--n", "16", "--rows", "1",
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", trace]) == 0
+        assert "study.mrc" in capsys.readouterr().out
+
+    def test_sweep_metrics(self, capsys, tmp_path):
+        metrics = str(tmp_path / "sweep.json")
+        assert main(["sweep", "--workers", "1", "--no-cache",
+                     "--metrics", metrics]) == 0
+        capsys.readouterr()
+        import json
+
+        snap = json.loads((tmp_path / "sweep.json").read_text())
+        assert snap["counters"]["sweep.points"] == 216
+
+    def test_profile_without_sink_exits_1(self, capsys):
+        assert main(["cachegrind", "--n", "32", "--rows", "2",
+                     "--profile"]) == 1
+        assert "--trace and/or --metrics" in capsys.readouterr().err
+
+    def test_trace_report_missing_file_exits_1(self, capsys, tmp_path):
+        assert main(["trace-report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "trace file not found" in capsys.readouterr().err
+
+
 class TestErrorHandling:
     """ReproError -> exit 1; anything else escaping -> exit 2."""
 
