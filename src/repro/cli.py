@@ -121,6 +121,16 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--engine", choices=("exact", "fast"), default="exact",
                    help="cache-simulation engine: reference per-access loop "
                         "or the vectorized sim.fastcache (bit-identical)")
+    c.add_argument("--backend", choices=("auto", "numpy", "numba", "c"),
+                   default="auto",
+                   help="fast-engine kernel backend: 'auto' picks the "
+                        "quickest compiled path available and every choice "
+                        "is bit-identical (repro.sim.backends)")
+    c.add_argument("--tail-threshold", type=int, default=None,
+                   metavar="N",
+                   help="numpy-backend wavefront/tail crossover (accesses "
+                        "per step below which the scalar tail loop takes "
+                        "over); results are bit-identical at any setting")
     c.add_argument("--workers", type=int, default=None,
                    help="fan per-scheme simulations out to a process pool "
                         "(bit-identical to the serial study)")
@@ -138,6 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
     m = sub.add_parser("mrc", help="miss-ratio curves (capacity vs conflict)")
     m.add_argument("--n", type=int, default=64, help="problem side")
     m.add_argument("--rows", type=int, default=2, help="sampled output rows")
+    m.add_argument("--engine", choices=("exact", "fast"), default="exact",
+                   help="cache-simulation engine (bit-identical choices)")
+    m.add_argument("--backend", choices=("auto", "numpy", "numba", "c"),
+                   default="auto",
+                   help="fast-engine kernel backend ('auto' picks the "
+                        "quickest available; all bit-identical)")
     m.add_argument("--workers", type=int, default=None,
                    help="fan per-scheme decompositions out to a process "
                         "pool (bit-identical to the serial study)")
@@ -320,6 +336,7 @@ def _cmd_cachegrind(args) -> int:
         study = run_cachegrind_study(
             n=args.n, capacity_ratio=args.capacity_ratio, n_rows=args.rows,
             schemes=("rm", "mo", "ho"), engine=args.engine,
+            backend=args.backend, tail_threshold=args.tail_threshold,
             workers=args.workers,
             checkpoint=args.checkpoint, resume=args.resume,
             on_failure=args.on_failure,
@@ -338,7 +355,8 @@ def _cmd_mrc(args) -> int:
         raise ExperimentError("--resume requires --checkpoint")
     with _obs_session(args):
         curves = run_mrc_study(
-            n=args.n, sample_rows=args.rows, workers=args.workers,
+            n=args.n, sample_rows=args.rows, engine=args.engine,
+            backend=args.backend, workers=args.workers,
             checkpoint=args.checkpoint, resume=args.resume,
             on_failure=args.on_failure,
         )

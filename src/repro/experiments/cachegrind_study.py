@@ -93,13 +93,22 @@ def _scheme_report(
     scheme: str,
     prefetch: str,
     engine: str,
+    backend: str = "numpy",
+    tail_threshold: int | None = None,
     obs_ctx=None,
 ) -> CachegrindReport:
-    """One scheme's full instrumentation run (process-pool task)."""
+    """One scheme's full instrumentation run (process-pool task).
+
+    ``backend`` rides along as a plain string so the spawn-pickled pool
+    task re-resolves it in the worker process.
+    """
     with obs.attach(obs_ctx), obs.span(
-        "study.cachegrind.scheme", scheme=scheme, n=n
+        "study.cachegrind.scheme", scheme=scheme, n=n, backend=backend
     ):
-        sim = CachegrindSim(machine, prefetch=prefetch, engine=engine)
+        sim = CachegrindSim(
+            machine, prefetch=prefetch, engine=engine, backend=backend,
+            tail_threshold=tail_threshold,
+        )
         spec = MatmulTraceSpec.uniform(n, scheme)
         report = sim.run(naive_matmul_trace(spec, rows=rows))
         obs.count("study.schemes_done", study="cachegrind")
@@ -125,6 +134,8 @@ def run_cachegrind_study(
     machine: MachineSpec | None = None,
     prefetch: str = "none",
     engine: str = "exact",
+    backend: str = "numpy",
+    tail_threshold: int | None = None,
     workers: int | None = None,
     checkpoint: str | Path | None = None,
     resume: bool = False,
@@ -150,7 +161,10 @@ def run_cachegrind_study(
     different study parameters raises
     :class:`~repro.errors.CheckpointError`.
     """
+    from repro.sim.backends import resolve_backend
+
     validate_on_failure(on_failure)
+    backend = resolve_backend(backend)
     if n_rows < 1:
         raise ExperimentError("need at least one sampled row")
     machine = machine or _study_machine(n, capacity_ratio)
@@ -167,6 +181,9 @@ def run_cachegrind_study(
             "rows": list(rows),
             "schemes": list(schemes),
             "prefetch": prefetch,
+            # The kernel backend is deliberately NOT part of the
+            # checkpoint identity: backends are bit-identical, so a
+            # journal written under one resumes under any other.
             "engine": engine,
             "machine": asdict(machine),
         }
@@ -183,7 +200,8 @@ def run_cachegrind_study(
     todo = [s for s in schemes if s not in reports]
     with obs.span(
         "study.cachegrind", n=n, schemes=list(schemes), engine=engine,
-        workers=workers or 0, resumed=len(schemes) - len(todo),
+        backend=backend, workers=workers or 0,
+        resumed=len(schemes) - len(todo),
     ):
         if workers is not None and workers > 1 and len(todo) > 1:
             import multiprocessing as mp
@@ -196,7 +214,7 @@ def run_cachegrind_study(
                 futures = {
                     scheme: pool.submit(
                         _scheme_report, machine, n, rows, scheme, prefetch,
-                        engine, obs.worker_context(),
+                        engine, backend, tail_threshold, obs.worker_context(),
                     )
                     for scheme in todo
                 }
@@ -211,14 +229,18 @@ def run_cachegrind_study(
                         finish(
                             scheme,
                             _scheme_report(
-                                machine, n, rows, scheme, prefetch, engine
+                                machine, n, rows, scheme, prefetch, engine,
+                                backend, tail_threshold,
                             ),
                         )
         else:
             for scheme in todo:
                 finish(
                     scheme,
-                    _scheme_report(machine, n, rows, scheme, prefetch, engine),
+                    _scheme_report(
+                        machine, n, rows, scheme, prefetch, engine, backend,
+                        tail_threshold,
+                    ),
                 )
     # Scheme order in the output is the caller's order regardless of
     # which schemes came from the journal.

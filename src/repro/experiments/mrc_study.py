@@ -26,7 +26,7 @@ import numpy as np
 from repro import obs
 from repro.errors import ExperimentError
 from repro.robust import StudyCheckpoint, validate_on_failure, warn_degraded
-from repro.sim.cache import Cache
+from repro.sim.fastcache import make_cache
 from repro.sim.config import CacheSpec
 from repro.sim.stackdist import miss_curve, reuse_distances
 from repro.trace.matmul_trace import MatmulTraceSpec, naive_matmul_trace
@@ -65,11 +65,14 @@ def _scheme_curve(
     caps: dict[float, int],
     line_bytes: int,
     assoc: int,
+    engine: str = "exact",
+    backend: str = "numpy",
     obs_ctx=None,
 ) -> MissRatioCurve:
     """One scheme's full decomposition (process-pool task)."""
     with obs.attach(obs_ctx), obs.span(
-        "study.mrc.scheme", scheme=scheme, n=n, capacities=len(caps)
+        "study.mrc.scheme", scheme=scheme, n=n, capacities=len(caps),
+        engine=engine, backend=backend,
     ):
         spec = MatmulTraceSpec.uniform(n, scheme)
         trace = list(naive_matmul_trace(spec, rows=rows))
@@ -78,8 +81,9 @@ def _scheme_curve(
         mpi_cap = {u: capacity_misses[c] / iterations for u, c in caps.items()}
         mpi_tot = {}
         for u, cap_lines in caps.items():
-            cache = Cache(
-                CacheSpec("mrc", cap_lines * line_bytes, line_bytes, assoc)
+            cache = make_cache(
+                CacheSpec("mrc", cap_lines * line_bytes, line_bytes, assoc),
+                engine=engine, backend=backend,
             )
             for chunk in trace:
                 cache.access_chunk(chunk)
@@ -119,6 +123,8 @@ def run_mrc_study(
     sample_rows: int = 2,
     line_bytes: int = 64,
     assoc: int = 16,
+    engine: str = "exact",
+    backend: str = "numpy",
     workers: int | None = None,
     checkpoint: str | Path | None = None,
     resume: bool = False,
@@ -142,7 +148,10 @@ def run_mrc_study(
     run.  A journal written with different parameters refuses to resume
     (:class:`~repro.errors.CheckpointError`).
     """
+    from repro.sim.backends import resolve_backend
+
     validate_on_failure(on_failure)
+    backend = resolve_backend(backend)
     if sample_rows < 1 or sample_rows >= n:
         raise ExperimentError("sample_rows must be in [1, n)")
     working_set = 3 * 8 * n * n
@@ -182,7 +191,8 @@ def run_mrc_study(
 
     todo = [s for s in schemes if s not in curves]
     with obs.span(
-        "study.mrc", n=n, schemes=list(schemes), workers=workers or 0,
+        "study.mrc", n=n, schemes=list(schemes), engine=engine,
+        backend=backend, workers=workers or 0,
         resumed=len(schemes) - len(todo),
     ):
         if workers is not None and workers > 1 and len(todo) > 1:
@@ -196,7 +206,8 @@ def run_mrc_study(
                 futures = {
                     scheme: pool.submit(
                         _scheme_curve, scheme, n, rows, iterations, caps,
-                        line_bytes, assoc, obs.worker_context(),
+                        line_bytes, assoc, engine, backend,
+                        obs.worker_context(),
                     )
                     for scheme in todo
                 }
@@ -212,7 +223,7 @@ def run_mrc_study(
                             scheme,
                             _scheme_curve(
                                 scheme, n, rows, iterations, caps, line_bytes,
-                                assoc,
+                                assoc, engine, backend,
                             ),
                         )
         else:
@@ -220,7 +231,8 @@ def run_mrc_study(
                 finish(
                     scheme,
                     _scheme_curve(
-                        scheme, n, rows, iterations, caps, line_bytes, assoc
+                        scheme, n, rows, iterations, caps, line_bytes, assoc,
+                        engine, backend,
                     ),
                 )
     return [curves[s] for s in schemes]

@@ -748,16 +748,18 @@ class SweepEngine:
                                 obs.worker_context(),
                             ),
                         ))
-                    except BrokenProcessPool as exc:
+                    except BrokenProcessPool:
                         # A worker died while this generation was still
-                        # being submitted; the submit itself fails.
+                        # being submitted; the submit itself fails.  The
+                        # death belongs to a shard that actually ran —
+                        # not this one, which never executed — so it
+                        # rides into the next generation without a
+                        # retry penalty and the crashed shard's own
+                        # future carries the failure.
                         self._abandon_pool(executor)
                         executor = self._new_pool()
                         respawn = True
-                        if not self._retry_or_raise(
-                            job, exc, telemetry, stats, by_key
-                        ):
-                            failed.append(job)
+                        failed.append(job)
                 for job, fut in futures:
                     if respawn:
                         # The pool was torn down to abandon a stuck shard

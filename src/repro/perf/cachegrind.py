@@ -76,10 +76,21 @@ class CachegrindSim:
     """
 
     def __init__(
-        self, machine: MachineSpec, prefetch: str = "none", engine: str = "exact"
+        self,
+        machine: MachineSpec,
+        prefetch: str = "none",
+        engine: str = "exact",
+        backend: str = "numpy",
+        tail_threshold: int | None = None,
     ):
-        self.d1 = make_cache(machine.l1, engine=engine)
-        self.ll = make_cache(machine.l3, prefetch=prefetch, engine=engine)
+        self.d1 = make_cache(
+            machine.l1, engine=engine, backend=backend,
+            tail_threshold=tail_threshold,
+        )
+        self.ll = make_cache(
+            machine.l3, prefetch=prefetch, engine=engine, backend=backend,
+            tail_threshold=tail_threshold,
+        )
 
     def consume(self, chunk: TraceChunk) -> None:
         """Feed one trace chunk through D1 then LL."""

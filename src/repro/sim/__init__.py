@@ -9,6 +9,12 @@ from repro.sim.config import (
     SANDY_BRIDGE_E5_2670,
     scaled_machine,
 )
+from repro.sim.backends import (
+    BACKENDS,
+    available_backends,
+    backend_available,
+    resolve_backend,
+)
 from repro.sim.cache import Cache, CacheStats
 from repro.sim.fastcache import FastCache, make_cache
 from repro.sim.hierarchy import CoreHierarchy, HierarchyResult, SocketSim
@@ -69,6 +75,10 @@ __all__ = [
     "CacheStats",
     "FastCache",
     "make_cache",
+    "BACKENDS",
+    "available_backends",
+    "backend_available",
+    "resolve_backend",
     "CoreHierarchy",
     "SocketSim",
     "HierarchyResult",

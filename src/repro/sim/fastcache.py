@@ -51,6 +51,25 @@ Configurations the vectorized path cannot honor exactly (currently
 ``prefetch="next-line"``, whose installs depend on other sets' state)
 fall back to the reference loop via :func:`make_cache`, with a logged
 reason.
+
+**Kernel backends.**  The set-associative inner loop additionally
+dispatches through the pluggable backend axis of
+:mod:`repro.sim.backends`: ``backend="numpy"`` (default) is the wavefront
+sweep described above, while ``"numba"`` and ``"c"`` replace the whole
+set-associative path — partition, collapse, lockstep sweep *and* Python
+tail — with one compiled stream-order replay kernel (the reference loop,
+natively).  Profiling drove that shape: with a native inner loop the
+numpy path's preprocessing (argsort partition, collapse pass,
+gather/scatter of per-set state) dominates, so the compiled backends skip
+it entirely.  There is no crossover to manage and
+:attr:`FastCache.tail_threshold` is irrelevant on those backends.  The
+fully-associative offline path is backend-invariant — it is already
+no-per-access-work and a linear directory scan would be a complexity
+regression, so ``n_sets == 1`` always takes the Mattson path.  ``"auto"`` picks the fastest available; a compiled backend
+that cannot load degrades to ``"numpy"`` with a
+:class:`~repro.robust.DegradedRunWarning`.  Every backend is exact and
+bit-identical — same stats, same miss stream, same carried state — which
+the equivalence suite enforces against the reference engine per backend.
 """
 
 from __future__ import annotations
@@ -61,6 +80,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.obs import OBS, phase_span
+from repro.sim.backends import get_replay_kernel, resolve_backend
 from repro.sim.cache import Cache, CacheStats, finalize_chunk_stats
 from repro.sim.config import CacheSpec
 from repro.sim.stackdist import _line_reuse_distances
@@ -91,10 +111,20 @@ class FastCache:
     #: Wavefront width below which the remaining straggler sets are
     #: finished in a reference-style Python loop (per-step NumPy dispatch
     #: overhead exceeds the per-access loop cost for narrow fronts).
-    #: Instance-settable; tests pin it to force either path.
+    #: Class default for the ``numpy`` backend; override per instance via
+    #: the ``tail_threshold`` constructor argument (or assignment — tests
+    #: pin it to force either path).  The optimal crossover differs
+    #: between hosts, which is why it is a knob and not a constant; the
+    #: compiled backends ignore it (their kernel *is* the tail path).
     tail_threshold = 128
 
-    def __init__(self, spec: CacheSpec, prefetch: str = "none"):
+    def __init__(
+        self,
+        spec: CacheSpec,
+        prefetch: str = "none",
+        backend: str = "numpy",
+        tail_threshold: int | None = None,
+    ):
         if prefetch != "none":
             raise SimulationError(
                 f"FastCache supports prefetch='none' only, got {prefetch!r}; "
@@ -102,6 +132,14 @@ class FastCache:
             )
         self.spec = spec
         self.prefetch = prefetch
+        self.backend = resolve_backend(backend)
+        self._replay = get_replay_kernel(self.backend)
+        if tail_threshold is not None:
+            if tail_threshold < 0:
+                raise SimulationError(
+                    f"tail_threshold must be >= 0, got {tail_threshold}"
+                )
+            self.tail_threshold = int(tail_threshold)
         self.stats = CacheStats()
         self._set_mask = spec.n_sets - 1
         self._line_shift = spec.line_bytes.bit_length() - 1
@@ -167,6 +205,11 @@ class FastCache:
         if self.spec.n_sets == 1:
             with phase_span("fastcache.fully_assoc", level=self.spec.name, n=n):
                 miss_idx, evictions, writebacks = self._run_fully_assoc(
+                    lines, is_write
+                )
+        elif self._replay is not None:
+            with phase_span("fastcache.compiled", level=self.spec.name, n=n):
+                miss_idx, evictions, writebacks = self._run_compiled(
                     lines, is_write
                 )
         else:
@@ -381,6 +424,33 @@ class FastCache:
         self._dirty[set_order] = dirty
         return np.flatnonzero(miss_flags), evictions, writebacks
 
+    def _run_compiled(
+        self, lines: np.ndarray, is_write: np.ndarray
+    ) -> tuple[np.ndarray, int, int]:
+        """Replay the chunk in trace order through the compiled kernel.
+
+        The kernel (see :mod:`repro.sim.backends.kernels`) works directly
+        on the engine's canonical MRU-first stacks, computing each
+        access's set index on the fly — no partition, no collapse, no
+        gather/scatter.  ``dirty`` is passed as a uint8 *view* of the
+        bool state (same memory, no copy), so the kernel's in-place
+        updates land in the carried state directly.
+        """
+        if not self._stack.flags.c_contiguous:  # e.g. after load_state
+            self._stack = np.ascontiguousarray(self._stack)
+        if not self._dirty.flags.c_contiguous:
+            self._dirty = np.ascontiguousarray(self._dirty)
+        miss_flags = np.zeros(len(lines), dtype=np.uint8)
+        evictions, writebacks = self._replay(
+            self._stack,
+            self._dirty.view(np.uint8),
+            np.uint64(self._set_mask),
+            np.ascontiguousarray(lines, dtype=np.uint64),
+            np.ascontiguousarray(is_write, dtype=bool).view(np.uint8),
+            miss_flags,
+        )
+        return np.flatnonzero(miss_flags), int(evictions), int(writebacks)
+
     def _run_tail(
         self, k0, m, slots, dirty, sstarts, counts_desc,
         h_lines, h_write, h_orig, miss_flags, evictions, writebacks,
@@ -429,7 +499,11 @@ class FastCache:
 
 
 def make_cache(
-    spec: CacheSpec, prefetch: str = "none", engine: str = "exact"
+    spec: CacheSpec,
+    prefetch: str = "none",
+    engine: str = "exact",
+    backend: str = "numpy",
+    tail_threshold: int | None = None,
 ) -> Cache | FastCache:
     """Construct one cache level with the selected simulation engine.
 
@@ -437,12 +511,17 @@ def make_cache(
     is the vectorized engine, which is exact for ``prefetch="none"``.  A
     configuration the fast path cannot honor falls back to the reference
     loop with a logged reason rather than silently diverging.
+
+    ``backend`` selects the fast engine's kernel backend
+    (:mod:`repro.sim.backends`: ``"numpy"``/``"numba"``/``"c"``/``"auto"``)
+    and ``tail_threshold`` its wavefront-to-tail crossover; both are
+    ignored by the exact engine, which has no vectorized path.
     """
     if engine not in ("exact", "fast"):
         raise SimulationError(f"engine must be 'exact' or 'fast', got {engine!r}")
     if engine == "fast":
         if prefetch == "none":
-            return FastCache(spec)
+            return FastCache(spec, backend=backend, tail_threshold=tail_threshold)
         logger.warning(
             "fastcache: %s with prefetch=%r is not vectorizable; "
             "falling back to the reference engine",

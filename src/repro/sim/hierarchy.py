@@ -69,13 +69,20 @@ class HierarchyResult:
 
 
 class CoreHierarchy:
-    """One core's private L1 and L2."""
+    """One core's private L1 and L2.
 
-    def __init__(self, machine: MachineSpec, engine: str = "exact"):
+    ``backend`` selects the fast engine's kernel backend
+    (:mod:`repro.sim.backends`); it is a plain string so it pickles into
+    the spawn workers of :mod:`repro.sim.parallel` unchanged.
+    """
+
+    def __init__(
+        self, machine: MachineSpec, engine: str = "exact", backend: str = "numpy"
+    ):
         if machine.l1.line_bytes != machine.l2.line_bytes:
             raise SimulationError("L1/L2 line sizes must match")
-        self.l1 = make_cache(machine.l1, engine=engine)
-        self.l2 = make_cache(machine.l2, engine=engine)
+        self.l1 = make_cache(machine.l1, engine=engine, backend=backend)
+        self.l2 = make_cache(machine.l2, engine=engine, backend=backend)
 
     def access_chunk(self, chunk: TraceChunk):
         """Feed a chunk; returns the L2 miss stream (lines, is_write, tags)."""
@@ -110,6 +117,7 @@ class SocketSim:
         machine: MachineSpec,
         n_cores: int | None = None,
         engine: str = "exact",
+        backend: str = "numpy",
     ):
         if machine.l2.line_bytes != machine.l3.line_bytes:
             raise SimulationError("L2/L3 line sizes must match")
@@ -120,8 +128,14 @@ class SocketSim:
                 f"n_cores {self.n_cores} exceeds socket capacity "
                 f"{machine.cores_per_socket}"
             )
-        self.cores = [CoreHierarchy(machine, engine=engine) for _ in range(self.n_cores)]
-        self.l3 = make_cache(machine.l3, engine=engine)
+        self.cores = [
+            CoreHierarchy(machine, engine=engine, backend=backend)
+            for _ in range(self.n_cores)
+        ]
+        # With a compiled backend the L3 replay of sim.parallel's shared
+        # phase (absorb_miss_stream -> l3.access_lines) runs the native
+        # kernel too — the serial merge loop stops being the bottleneck.
+        self.l3 = make_cache(machine.l3, engine=engine, backend=backend)
         self.dram_lines = 0
 
     def access_chunk(self, core: int, chunk: TraceChunk) -> None:

@@ -122,6 +122,7 @@ class MulticoreTraceSim:
         cols_per_chunk: int = 64,
         schedule: str = "static",
         engine: str = "exact",
+        backend: str = "numpy",
         workers: int | None = None,
         fault_plan: FaultPlan | None = None,
         hang_timeout_s: float | None = None,
@@ -140,6 +141,13 @@ class MulticoreTraceSim:
         self.cols_per_chunk = cols_per_chunk
         self.schedule = schedule
         self.engine = engine
+        # Resolve once, up front: the stored name is always concrete and
+        # available here, and — being a plain string — survives pickling
+        # into spawn workers, which re-resolve it idempotently (degrading
+        # bit-identically if their environment lost the compiled path).
+        from repro.sim.backends import resolve_backend
+
+        self.backend = resolve_backend(backend)
         self.workers = workers
         self.fault_plan = fault_plan
         self.hang_timeout_s = hang_timeout_s
@@ -149,7 +157,10 @@ class MulticoreTraceSim:
         for s, c in self.placement.assignments:
             cores_needed[s] = max(cores_needed[s], c + 1)
         self.sockets = [
-            SocketSim(machine, n_cores=cores_needed[s], engine=engine)
+            SocketSim(
+                machine, n_cores=cores_needed[s], engine=engine,
+                backend=self.backend,
+            )
             for s in range(sockets_used)
         ]
 
@@ -183,6 +194,7 @@ class MulticoreTraceSim:
             threads=self.placement.threads,
             schedule=self.schedule,
             engine=self.engine,
+            backend=self.backend,
             workers=self.workers or 0,
         ):
             if self.workers is not None:

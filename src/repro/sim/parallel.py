@@ -128,6 +128,7 @@ def _private_phase_worker(
     machine: MachineSpec,
     spec: MatmulTraceSpec,
     engine: str,
+    backend: str,
     cols_per_chunk: int,
     thread_ids: list[int],
     thread_rows: list[list[int]],
@@ -162,7 +163,7 @@ def _private_phase_worker(
             cores: dict[int, CoreHierarchy] = {}
             gens: dict[int, object] = {}
             for t, rows in zip(thread_ids, thread_rows):
-                core = CoreHierarchy(machine, engine=engine)
+                core = CoreHierarchy(machine, engine=engine, backend=backend)
                 snap = snapshots.get(t)
                 if snap is not None:
                     core.load_state(snap)
@@ -293,6 +294,7 @@ def run_parallel(
                     sim.machine,
                     sim.spec,
                     sim.engine,
+                    sim.backend,
                     sim.cols_per_chunk,
                     per_worker[w],
                     [thread_rows[t] for t in per_worker[w]],

@@ -88,3 +88,84 @@ def test_consecutive_indices_adjacent(order, d):
     y0, x0 = c.decode(d)
     y1, x1 = c.decode(d + 1)
     assert abs(y0 - y1) + abs(x0 - x1) == 1
+
+class TestBatchLutPath:
+    """The composed-LUT batch encoder vs the Lam-Shapiro scan reference."""
+
+    @pytest.mark.parametrize("order", [0, 1, 2, 3, 4, 5, 6, 7, 9, 10, 12])
+    def test_batch_matches_scan(self, order):
+        # Orders straddling the chunk width hit every schedule shape:
+        # remainder-only, exact multiples, and remainder + full chunks.
+        from repro.curves.hilbert import (
+            _decode_scan,
+            _encode_scan,
+            hilbert_decode_batch,
+            hilbert_encode_batch,
+        )
+
+        side = 1 << order
+        rng = np.random.default_rng(order)
+        n = min(side * side, 4096)
+        y = rng.integers(0, side, n, dtype=np.uint64)
+        x = rng.integers(0, side, n, dtype=np.uint64)
+        d = hilbert_encode_batch(y, x, order)
+        np.testing.assert_array_equal(d, _encode_scan(y, x, side))
+        yb, xb = hilbert_decode_batch(d, order)
+        ys, xs = _decode_scan(d, side)
+        np.testing.assert_array_equal(yb, ys)
+        np.testing.assert_array_equal(xb, xs)
+
+    @pytest.mark.parametrize("order", [1, 3, 6, 8])
+    def test_full_domain_bijection(self, order):
+        side = 1 << order
+        c = HilbertCurve(side)
+        yy, xx = np.meshgrid(
+            np.arange(side, dtype=np.uint64),
+            np.arange(side, dtype=np.uint64),
+            indexing="ij",
+        )
+        d = c.encode(yy.ravel(), xx.ravel())
+        assert len(np.unique(d)) == side * side
+        y2, x2 = c.decode(d)
+        np.testing.assert_array_equal(y2, yy.ravel())
+        np.testing.assert_array_equal(x2, xx.ravel())
+
+    def test_pair_luts_memoized(self):
+        # Satellite: the composed tables are built once per width and
+        # shared by every instance — identity, not just equality.
+        from repro.curves.hilbert import _CHUNK_W, _pair_luts
+
+        a = _pair_luts(_CHUNK_W)
+        HilbertCurve(1 << (2 * _CHUNK_W)).encode(
+            np.zeros(4, dtype=np.uint64), np.zeros(4, dtype=np.uint64)
+        )
+        b = _pair_luts(_CHUNK_W)
+        assert all(x is y for x, y in zip(a, b))
+
+    def test_matches_table_machine(self):
+        # One level of the composed LUT must reproduce the one-step FSM.
+        from repro.curves.hilbert import _pair_luts
+        from repro.curves.hilbert_table import NEXT_TABLE, RANK_TABLE
+
+        rank, nxt, pos, pnxt = _pair_luts(1)
+        np.testing.assert_array_equal(rank, RANK_TABLE)
+        np.testing.assert_array_equal(nxt, NEXT_TABLE)
+
+
+@settings(max_examples=40)
+@given(
+    order=st.integers(min_value=1, max_value=11),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_batch_round_trip_property(order, seed):
+    from repro.curves.hilbert import hilbert_decode_batch, hilbert_encode_batch
+
+    side = 1 << order
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, side, 64, dtype=np.uint64)
+    x = rng.integers(0, side, 64, dtype=np.uint64)
+    d = hilbert_encode_batch(y, x, order)
+    assert int(d.max(initial=0)) < side * side
+    y2, x2 = hilbert_decode_batch(d, order)
+    np.testing.assert_array_equal(y2, y)
+    np.testing.assert_array_equal(x2, x)

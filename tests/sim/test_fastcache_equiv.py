@@ -6,6 +6,11 @@ counters including per-tag attribution, the returned miss stream, and the
 carried state (probed by continuing with further chunks).  Geometries
 cover direct-mapped through fully-associative, and ``tail_threshold`` is
 pinned to force each of the wavefront / Python-tail paths explicitly.
+
+The ``backend`` axis (:mod:`repro.sim.backends`) runs the same oracle
+comparison through every kernel backend this host provides; compiled
+backends that cannot run here are skipped, never silently downgraded —
+fallback behaviour has its own explicit tests in ``test_backends.py``.
 """
 
 import numpy as np
@@ -15,8 +20,21 @@ from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.sim import Cache, CacheSpec, FastCache, make_cache
+from repro.sim.backends import BACKENDS, backend_available
 from repro.trace import TraceChunk
 from repro.trace.matmul_trace import MatmulTraceSpec, naive_matmul_trace
+
+#: One param per backend; unavailable compiled backends skip (not xfail:
+#: absence is an environment fact, not a defect).
+BACKEND_PARAMS = [
+    pytest.param(
+        b,
+        marks=pytest.mark.skipif(
+            not backend_available(b), reason=f"{b} backend unavailable"
+        ),
+    )
+    for b in BACKENDS
+]
 
 STAT_FIELDS = (
     "accesses",
@@ -31,10 +49,10 @@ STAT_FIELDS = (
 )
 
 
-def assert_equivalent(spec, chunks, tail_threshold=None):
+def assert_equivalent(spec, chunks, tail_threshold=None, backend="numpy"):
     """Stream ``chunks`` through both engines; assert exact equality."""
     ref = Cache(spec)
-    fast = FastCache(spec)
+    fast = FastCache(spec, backend=backend)
     if tail_threshold is not None:
         fast.tail_threshold = tail_threshold
     for lines, is_write, tags in chunks:
@@ -79,12 +97,14 @@ GEOMETRIES = [
 class TestRandomizedEquivalence:
     @pytest.mark.parametrize("line_bytes,assoc,n_sets", GEOMETRIES)
     @pytest.mark.parametrize("tail_threshold", [0, 10**9])
-    def test_geometry_sweep(self, line_bytes, assoc, n_sets, tail_threshold):
+    @pytest.mark.parametrize("backend", BACKEND_PARAMS)
+    def test_geometry_sweep(self, line_bytes, assoc, n_sets, tail_threshold,
+                            backend):
         rng = np.random.default_rng(n_sets * 1000 + assoc + tail_threshold % 7)
         spec = CacheSpec("t", n_sets * assoc * line_bytes, line_bytes, assoc)
         # Universe ~8x the cache to exercise evictions and re-installs.
         chunks = random_chunks(rng, 3, 8 * n_sets * assoc + 1)
-        assert_equivalent(spec, chunks, tail_threshold)
+        assert_equivalent(spec, chunks, tail_threshold, backend=backend)
 
     def test_mixed_tail_cutover(self):
         # A threshold between 1 and the set count exercises the wavefront
@@ -143,14 +163,15 @@ class TestMatmulTraceEquivalence:
     """Real workload streams, both engine paths, through a hierarchy level."""
 
     @pytest.mark.parametrize("scheme", ["rm", "mo", "ho"])
-    def test_matmul_ll(self, scheme):
+    @pytest.mark.parametrize("backend", BACKEND_PARAMS)
+    def test_matmul_ll(self, scheme, backend):
         spec = MatmulTraceSpec.uniform(32, scheme)
         cache = CacheSpec("LL", 16 * 1024, 64, 16)
         chunks = [
             (c.addr >> np.uint64(6), c.is_write, c.tag)
             for c in naive_matmul_trace(spec, rows=[15, 16], cols_per_chunk=16)
         ]
-        assert_equivalent(cache, chunks, tail_threshold=4)
+        assert_equivalent(cache, chunks, tail_threshold=4, backend=backend)
 
     @pytest.mark.slow
     def test_matmul_full_problem_both_paths(self):
@@ -206,6 +227,38 @@ class TestInterface:
         with pytest.raises(SimulationError):
             make_cache(spec, engine="turbo")
 
+    def test_constructor_tail_threshold(self):
+        # Satellite: the crossover is a constructor knob, and every
+        # setting is bit-identical — the tail loop and the wavefront are
+        # the same algorithm, the threshold only picks which runs.
+        spec = CacheSpec("t", 64 * 4 * 64, 64, 4)
+        rng = np.random.default_rng(23)
+        chunks = random_chunks(rng, 4, 64 * 30, max_len=400)
+        baseline = None
+        for threshold in (0, 7, 128, 10**9):
+            fc = FastCache(spec, tail_threshold=threshold)
+            assert fc.tail_threshold == threshold
+            streams = [fc.access_lines(*c) for c in chunks]
+            key = (
+                [tuple(np.asarray(a).tolist()) for s_ in streams for a in s_],
+                fc.stats.accesses, fc.stats.misses, fc.stats.evictions,
+                fc.stats.writebacks,
+            )
+            if baseline is None:
+                baseline = key
+            else:
+                assert key == baseline, threshold
+
+    def test_constructor_tail_threshold_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            FastCache(CacheSpec("t", 1024, 64, 4), tail_threshold=-1)
+
+    def test_make_cache_forwards_backend_and_threshold(self):
+        spec = CacheSpec("t", 1024, 64, 4)
+        fc = make_cache(spec, engine="fast", backend="numpy", tail_threshold=9)
+        assert isinstance(fc, FastCache)
+        assert fc.backend == "numpy" and fc.tail_threshold == 9
+
     def test_make_cache_prefetch_fallback(self, caplog):
         spec = CacheSpec("t", 1024, 64, 4)
         with caplog.at_level("WARNING"):
@@ -219,23 +272,33 @@ class TestHierarchyComposition:
     """engine="fast" must compose through the stack with identical results."""
 
     def test_multicore_sim_engines_agree(self):
-        from repro.sim import SANDY_BRIDGE_E5_2670, MulticoreTraceSim, scaled_machine
+        from repro.sim import (
+            SANDY_BRIDGE_E5_2670,
+            MulticoreTraceSim,
+            available_backends,
+            scaled_machine,
+        )
 
         machine = scaled_machine(SANDY_BRIDGE_E5_2670, 512)
         spec = MatmulTraceSpec.uniform(32, "mo")
+        configs = [("exact", "numpy")] + [
+            ("fast", b) for b in available_backends()
+        ]
         results = {}
-        for engine in ("exact", "fast"):
+        for engine, backend in configs:
             sim = MulticoreTraceSim(
-                machine, spec, threads=2, sockets_used=1, engine=engine
+                machine, spec, threads=2, sockets_used=1, engine=engine,
+                backend=backend,
             )
-            results[engine] = sim.run(rows=[14, 15, 16, 17])
-        a, b = results["exact"], results["fast"]
-        for level in ("l1", "l2", "l3"):
-            for field in STAT_FIELDS:
-                assert getattr(getattr(a, level), field) == getattr(
-                    getattr(b, level), field
-                ), (level, field)
-        assert a.dram_lines == b.dram_lines
+            results[(engine, backend)] = sim.run(rows=[14, 15, 16, 17])
+        a = results[("exact", "numpy")]
+        for key, b in results.items():
+            for level in ("l1", "l2", "l3"):
+                for field in STAT_FIELDS:
+                    assert getattr(getattr(a, level), field) == getattr(
+                        getattr(b, level), field
+                    ), (key, level, field)
+            assert a.dram_lines == b.dram_lines, key
 
     def test_cachegrind_sim_engines_agree(self):
         from repro.perf.cachegrind import CachegrindSim

@@ -13,6 +13,7 @@ import pytest
 from repro.errors import SimulationError, WorkerCrashError
 from repro.robust import FaultPlan
 from repro.sim import (
+    backend_available,
     CacheSpec,
     MachineSpec,
     MulticoreTraceSim,
@@ -76,6 +77,17 @@ def assert_same_contents(a, b):
             assert sa["sets"] == sb["sets"]
             assert sa["dirty"] == sb["dirty"]
 
+
+#: Compiled-backend params; hosts without a given backend skip its leg.
+COMPILED_BACKEND_PARAMS = [
+    pytest.param(
+        b,
+        marks=pytest.mark.skipif(
+            not backend_available(b), reason=f"{b} backend unavailable"
+        ),
+    )
+    for b in ("numba", "c")
+]
 
 #: The acceptance matrix: schemes x placements x schedules.
 PLACEMENTS = {"1s": (1, 1), "2d": (2, 2), "8s": (8, 1)}
@@ -164,6 +176,38 @@ class TestBitIdentity:
         rs2, rp2 = serial.run(), par.run()
         assert rs2.l3.accesses == rs.l3.accesses
         assert result_key(rp2) == result_key(rs2)
+
+
+class TestBackendBitIdentity:
+    """Compiled kernel backends through the full parallel stack.
+
+    Serial numpy is the anchor; a compiled backend must match it both
+    serially and through workers=2 — the latter also proves the backend
+    name survives pickling into spawn workers (each worker re-resolves
+    the plain string and loads its own copy of the kernel).
+    """
+
+    @pytest.mark.parametrize("scheme,tc", [("mo", "2d"), ("ho", "8s")])
+    @pytest.mark.parametrize("backend", COMPILED_BACKEND_PARAMS)
+    def test_compiled_backend_matches_numpy(self, backend, scheme, tc):
+        threads, sockets = PLACEMENTS[tc]
+        spec = MatmulTraceSpec.uniform(16, scheme)
+        m = machine()
+        anchor = MulticoreTraceSim(
+            m, spec, threads, sockets, engine="fast", backend="numpy"
+        ).run()
+        serial = MulticoreTraceSim(
+            m, spec, threads, sockets, engine="fast", backend=backend
+        )
+        rs = serial.run()
+        assert result_key(rs) == result_key(anchor), (scheme, tc)
+        par = MulticoreTraceSim(
+            m, spec, threads, sockets, engine="fast", backend=backend,
+            workers=2,
+        )
+        rp = par.run()
+        assert result_key(rp) == result_key(anchor), (scheme, tc)
+        assert_same_contents(cache_contents(par), cache_contents(serial))
 
 
 class TestSmoke:
