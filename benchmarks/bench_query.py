@@ -1,0 +1,108 @@
+"""Chunked-store query study: the utilization/speedup table per ordering.
+
+Run as a script to produce the committed ``BENCH_query.json``::
+
+    PYTHONPATH=src python benchmarks/bench_query.py
+
+The study streams identical seeded bbox/range/k-NN workloads over the
+same chunk grid laid out row-major, Morton and Hilbert, and records per
+cell: store-level chunk utilization after fetch coalescing, mean
+sequential run length, seeks per query, modeled I/O time with the
+speedup over row-major, the chunk-cache miss rate and the attached
+energy model's Joules.  This is the repo's port of the related work's
+spatial-ordering benchmark (40%→85% utilization, 2–50x speedups on a
+real Zarr store); the simulated magnitudes are smaller but the ordering
+Hilbert ≥ Morton > row-major must reproduce — the pytest entry asserts
+it and times the full study.
+"""
+
+import json
+import platform
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import render_query_table, run_query_study
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = ROOT / "BENCH_query.json"
+
+GRID_SIDE = 64
+TILE_SIDE = 8
+N_QUERIES = 128
+SEED = 0
+
+
+def build_payload() -> dict:
+    study = run_query_study(
+        grid_side=GRID_SIDE, tile_side=TILE_SIDE, n_queries=N_QUERIES,
+        seed=SEED,
+    )
+    cells = []
+    for workload in study.workloads:
+        for ordering in study.orderings:
+            r = study.cell(workload, ordering)
+            cells.append({
+                "workload": workload,
+                "ordering": ordering,
+                "chunks_per_query": r.chunks_per_query,
+                "utilization": r.utilization,
+                "mean_run_chunks": r.mean_run_chunks,
+                "seeks_per_query": r.seeks_per_query,
+                "fetched_bytes": r.fetched_bytes,
+                "useful_bytes": r.useful_bytes,
+                "io_seconds": r.io_seconds,
+                "speedup_vs_rm": study.speedup(workload, ordering),
+                "cache_miss_rate": r.cache_miss_rate,
+                "energy_j": r.energy_j,
+                "stream": r.stream,
+            })
+    return {
+        "benchmark": "bench_query",
+        "units": "chunk utilization (useful/fetched bytes), I/O-model speedup vs rm",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+        },
+        "params": {
+            "grid_side": GRID_SIDE,
+            "tile_side": TILE_SIDE,
+            "n_queries": N_QUERIES,
+            "seed": SEED,
+            "fetch_chunks": study.fetch_chunks,
+        },
+        "notes": [
+            "deterministic (SplitMix64 query sampling): regenerating on any "
+            "host/NumPy must reproduce these numbers exactly",
+            "related-work reference (real Zarr store): 40%->85% utilization, "
+            "2-50x speedups; the simulated store reproduces the ordering, "
+            "not the magnitudes",
+        ],
+        "cells": cells,
+    }, study
+
+
+def test_query_study(benchmark, report):
+    study = benchmark.pedantic(
+        run_query_study,
+        kwargs=dict(grid_side=32, tile_side=TILE_SIDE, n_queries=64),
+        rounds=1, iterations=1,
+    )
+    report(
+        "QUERY — CHUNKED-STORE UTILIZATION/SPEEDUP PER ORDERING",
+        render_query_table(study)
+        + "\n\nHilbert's contiguous chunk runs waste fewer coalesced"
+        "\nfetch units and seek less; the related-work ordering"
+        "\nHilbert >= Morton > row-major must hold on bbox workloads.",
+    )
+    util = {o: study.cell("bbox", o).utilization for o in ("rm", "mo", "ho")}
+    assert util["ho"] >= util["mo"] > util["rm"]
+    assert study.speedup("bbox", "ho") > 1.0
+
+
+if __name__ == "__main__":
+    payload, study = build_payload()
+    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(render_query_table(study))
+    print(f"\nwrote {OUT_PATH}")

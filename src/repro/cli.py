@@ -168,6 +168,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "the bit-identical serial path")
     _add_obs_flags(m)
 
+    q = sub.add_parser(
+        "query", help="chunked-store query study: utilization/speedup per ordering"
+    )
+    q.add_argument("--grid", type=int, default=32,
+                   help="chunk grid side (power of two)")
+    q.add_argument("--tile", type=int, default=8,
+                   help="points per chunk side (power of two)")
+    q.add_argument("--orderings", default="rm,mo,ho",
+                   help="comma-separated curve codes for chunk placement")
+    q.add_argument("--workloads", default="bbox,range,knn",
+                   help="comma-separated query kinds")
+    q.add_argument("--queries", type=int, default=64,
+                   help="queries per workload")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--fetch-chunks", type=int, default=4,
+                   help="store read granularity in chunks (power of two)")
+    q.add_argument("--engine", choices=("exact", "fast"), default="exact",
+                   help="chunk-cache simulation engine")
+    q.add_argument("--backend", choices=("auto", "numpy", "numba", "c"),
+                   default="auto",
+                   help="fast-engine kernel backend")
+    _add_obs_flags(q)
+
     tr = sub.add_parser(
         "trace-report",
         help="summarize a --trace file: span tree, self/total time, hotspots",
@@ -364,6 +387,22 @@ def _cmd_mrc(args) -> int:
     return 0
 
 
+def _cmd_query(args) -> int:
+    from repro.experiments import render_query_table, run_query_study
+
+    with _obs_session(args):
+        study = run_query_study(
+            grid_side=args.grid, tile_side=args.tile,
+            orderings=tuple(args.orderings.split(",")),
+            workloads=tuple(args.workloads.split(",")),
+            n_queries=args.queries, seed=args.seed,
+            fetch_chunks=args.fetch_chunks,
+            engine=args.engine, backend=args.backend,
+        )
+    print(render_query_table(study))
+    return 0
+
+
 def _cmd_trace_report(args) -> int:
     from repro.obs.report import render_report
 
@@ -454,6 +493,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "cachegrind": _cmd_cachegrind,
     "mrc": _cmd_mrc,
+    "query": _cmd_query,
     "trace-report": _cmd_trace_report,
     "atlas": _cmd_atlas,
     "hardware": _cmd_hardware,

@@ -12,6 +12,7 @@ __all__ = [
     "CurveDomainError",
     "LayoutError",
     "KernelError",
+    "TraceError",
     "SimulationError",
     "CalibrationError",
     "ExperimentError",
@@ -42,6 +43,10 @@ class LayoutError(ReproError, ValueError):
 
 class KernelError(ReproError, ValueError):
     """A matrix-multiplication kernel was invoked on incompatible operands."""
+
+
+class TraceError(ReproError, ValueError):
+    """A trace generator received inconsistent geometry or parameters."""
 
 
 class SimulationError(ReproError, RuntimeError):

@@ -45,6 +45,12 @@ from repro.experiments.hardware_assist import (
 )
 from repro.experiments.report import generate_report
 from repro.experiments.mrc_study import MissRatioCurve, render_mrc, run_mrc_study
+from repro.experiments.query_study import (
+    QueryStudy,
+    QueryWorkloadResult,
+    render_query_table,
+    run_query_study,
+)
 from repro.experiments.sensitivity import (
     SensitivityPoint,
     render_sensitivity,
@@ -116,4 +122,8 @@ __all__ = [
     "MissRatioCurve",
     "run_mrc_study",
     "render_mrc",
+    "QueryStudy",
+    "QueryWorkloadResult",
+    "run_query_study",
+    "render_query_table",
 ]

@@ -207,6 +207,12 @@ def run_cachegrind_study(
             import multiprocessing as mp
             from concurrent.futures import ProcessPoolExecutor
 
+            # Pool tasks return typed results, not a message stream, so
+            # worker-side counters have no ride home; say so explicitly
+            # rather than let snapshots silently under-report.
+            if obs.metrics_active():
+                obs.gauge("workers_unmetered", min(workers, len(todo)),
+                          study="cachegrind")
             ctx = mp.get_context("spawn")
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(todo)), mp_context=ctx

@@ -704,6 +704,11 @@ class SweepEngine:
                 break
 
     def _new_pool(self) -> ProcessPoolExecutor:
+        # Pool shards return typed results, not a message stream, so
+        # worker-side counters have no ride home; say so explicitly
+        # rather than let snapshots silently under-report.
+        if obs.metrics_active():
+            obs.gauge("workers_unmetered", self.workers, study="sweep")
         return ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker,

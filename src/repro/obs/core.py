@@ -235,29 +235,39 @@ class SpanContext:
 
     Ships the trace file path, the trace id, the capturing span's id and
     the profiling flag across a process boundary (``spawn``-pickled
-    worker args); :func:`attach` reconstructs a recorder from it.
+    worker args); :func:`attach` reconstructs a recorder from it.  When
+    ``metrics`` is set, :func:`attach` also installs a fresh
+    :class:`~repro.obs.metrics.MetricsRegistry` so worker-side counters
+    are captured; the engine is responsible for shipping that registry's
+    ``export()`` back and merging it into the parent's (see
+    :mod:`repro.sim.parallel`).  ``path`` is ``None`` for metrics-only
+    sessions (no trace sink).
     """
 
-    path: str
+    path: str | None
     trace_id: str
     parent_id: str | None
     profile: bool = False
+    metrics: bool = False
 
 
 def worker_context() -> SpanContext | None:
     """Capture the current span as a cross-process parent (or ``None``).
 
-    Returns ``None`` when tracing is off, so engine code can pass the
-    result to workers unconditionally.
+    Returns ``None`` when observability is fully off, so engine code can
+    pass the result to workers unconditionally.  A metrics-only session
+    (no trace sink) still yields a context with ``metrics=True`` and no
+    path.
     """
     rec = OBS.recorder
-    if rec is None:
+    if rec is None and OBS.metrics is None:
         return None
     return SpanContext(
-        path=str(rec.path),
-        trace_id=rec.trace_id,
-        parent_id=rec.current_parent(),
+        path=str(rec.path) if rec is not None else None,
+        trace_id=rec.trace_id if rec is not None else "",
+        parent_id=rec.current_parent() if rec is not None else None,
         profile=OBS.profile,
+        metrics=OBS.metrics is not None,
     )
 
 
@@ -277,11 +287,19 @@ class attach:
         ctx = self._ctx
         if ctx is None:
             return None
+        from repro.obs.metrics import MetricsRegistry
+
         self._saved = (OBS.recorder, OBS.metrics, OBS.profile)
-        OBS.recorder = TraceRecorder(
-            ctx.path, trace_id=ctx.trace_id, root_parent_id=ctx.parent_id
+        OBS.recorder = (
+            TraceRecorder(
+                ctx.path, trace_id=ctx.trace_id, root_parent_id=ctx.parent_id
+            )
+            if ctx.path is not None
+            else None
         )
-        OBS.metrics = None
+        # A fresh worker-local registry: the engine ships its export()
+        # back with the result stream and merges it into the parent's.
+        OBS.metrics = MetricsRegistry() if getattr(ctx, "metrics", False) else None
         OBS.profile = ctx.profile
         return OBS.recorder
 
@@ -289,7 +307,8 @@ class attach:
         if self._ctx is None:
             return False
         try:
-            OBS.recorder.close()
+            if OBS.recorder is not None:
+                OBS.recorder.close()
         finally:
             OBS.recorder, OBS.metrics, OBS.profile = self._saved
         return False

@@ -72,6 +72,34 @@ class Histogram:
             },
         }
 
+    def export(self) -> dict:
+        """Raw (unrendered) state, suitable for cross-process merging."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": dict(self.buckets),
+        }
+
+    def merge(self, exported: dict) -> None:
+        """Fold an :meth:`export` payload from another process in."""
+        self.count += exported["count"]
+        self.sum += exported["sum"]
+        for bound in ("min", "max"):
+            other = exported[bound]
+            if other is None:
+                continue
+            mine = getattr(self, bound)
+            if mine is None:
+                setattr(self, bound, other)
+            else:
+                pick = min if bound == "min" else max
+                setattr(self, bound, pick(mine, other))
+        for b, c in exported["buckets"].items():
+            b = int(b)
+            self.buckets[b] = self.buckets.get(b, 0) + c
+
 
 class MetricsRegistry:
     """Thread-safe registry of counters, gauges and histograms."""
@@ -117,6 +145,38 @@ class MetricsRegistry:
                     for k in sorted(self._histograms)
                 },
             }
+
+    def export(self) -> dict:
+        """Picklable raw state for shipping across a process boundary.
+
+        Unlike :meth:`snapshot` this keeps histogram buckets in their
+        raw integer-exponent form so :meth:`merge` can recombine them
+        exactly (worker registries fold into the parent's without loss).
+        """
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    k: h.export() for k, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, exported: dict) -> None:
+        """Fold an :meth:`export` payload into this registry.
+
+        Counters add; gauges take the incoming value (last writer wins,
+        matching single-process semantics); histograms merge exactly.
+        """
+        with self._lock:
+            for k, v in exported["counters"].items():
+                self._counters[k] = self._counters.get(k, 0) + v
+            self._gauges.update(exported["gauges"])
+            for k, payload in exported["histograms"].items():
+                h = self._histograms.get(k)
+                if h is None:
+                    h = self._histograms[k] = Histogram()
+                h.merge(payload)
 
     def write(self, path: str | Path, profile: dict | None = None) -> None:
         """Write a redacted JSON snapshot (atomic via rename)."""

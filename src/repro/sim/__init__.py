@@ -45,6 +45,7 @@ from repro.sim.energy import (
     power_breakdown,
     voltage,
 )
+from repro.sim.locality import LocalityMeter, RunLengthStats, run_lengths
 from repro.sim.rapl import RAPL_ENERGY_UNIT_J, RaplCounter, unwrap_counter
 from repro.sim.powermeter import PowerMeter, WallReading
 from repro.sim.timeline import PowerPhase, PowerTimeline, run_timeline
@@ -123,4 +124,7 @@ __all__ = [
     "reuse_distances_fenwick",
     "miss_curve",
     "COLD",
+    "LocalityMeter",
+    "RunLengthStats",
+    "run_lengths",
 ]

@@ -101,6 +101,7 @@ _MSG_MISS = 0
 _MSG_DONE = 1
 _MSG_HEARTBEAT = 2
 _MSG_ERROR = 3
+_MSG_METRICS = 4
 
 #: How long the parent waits for straggling messages from a worker whose
 #: process has already exited, before declaring the payload lost.
@@ -196,6 +197,11 @@ def _private_phase_worker(
                 for t in finished:
                     live.remove(t)
             wspan.set(chunks=step)
+            # Worker-side counters accumulated in the attach-installed
+            # registry ride home after the last DONE; the parent merges
+            # them so snapshots stop under-reporting worker work.
+            if obs.metrics_active():
+                send((_MSG_METRICS, worker_id, obs.OBS.metrics.export()))
     except BaseException as exc:  # ship the failure; never die silently
         out_queue.put((_MSG_ERROR, worker_id, f"{type(exc).__name__}: {exc}"))
 
@@ -341,6 +347,18 @@ def run_parallel(
                 for t in finished:
                     live.remove(t)
             replay_span.set(chunks=chunks)
+            # Each worker ships its metrics registry right after its
+            # final DONE; fold them into the parent's so the session
+            # snapshot includes worker-side counters.
+            if obs_ctx is not None and obs_ctx.metrics and obs.metrics_active():
+                for w in range(n_workers):
+                    kind, msg_w, payload = _pop(queues[w], procs[w], watchdog)
+                    if kind != _MSG_METRICS:
+                        raise SimulationError(
+                            f"parallel protocol error: expected metrics "
+                            f"from worker {w}, got message kind {kind}"
+                        )
+                    obs.OBS.metrics.merge(payload)
         obs.count("sim.chunks", chunks, path="parallel")
         for p in procs:
             p.join(timeout=10.0)

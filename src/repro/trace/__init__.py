@@ -25,6 +25,16 @@ from repro.trace.blocked_trace import (
     recursive_matmul_trace,
     tiled_matmul_trace,
 )
+from repro.trace.query_trace import (
+    QUERY_KINDS,
+    Query,
+    QueryStoreSpec,
+    bbox_queries,
+    generate_queries,
+    knn_queries,
+    query_access_stream,
+    range_queries,
+)
 
 __all__ = [
     "TraceChunk",
@@ -44,4 +54,12 @@ __all__ = [
     "tiled_matmul_trace",
     "recursive_matmul_trace",
     "blocked_trace_length",
+    "QUERY_KINDS",
+    "Query",
+    "QueryStoreSpec",
+    "bbox_queries",
+    "range_queries",
+    "knn_queries",
+    "generate_queries",
+    "query_access_stream",
 ]

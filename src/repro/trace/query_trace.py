@@ -1,0 +1,393 @@
+"""Query access streams over a curve-ordered chunked spatial store.
+
+The paper studies one kernel (matmul) per layout; the strongest
+related-work signal says curve ordering pays off for *query traffic over
+chunked spatial stores* (Böhm 2020; the actual-currents Zarr store's
+40%→85% chunk-utilization jump from Hilbert ordering).  This module
+models that workload family:
+
+* A :class:`QueryStoreSpec` describes a ``grid_side x grid_side`` grid
+  of fixed-size chunks, each covering a ``tile_side x tile_side`` tile
+  of data points.  Chunks are laid out linearly in **store order**: the
+  chunk at grid coordinate ``(cy, cx)`` lives at byte offset
+  ``encode(cy, cx) * chunk_bytes`` under the spec's ordering (row-major,
+  Morton or Hilbert via the :mod:`repro.curves` registry; Hilbert takes
+  the composed-LUT batch path).
+* Query generators (:func:`bbox_queries`, :func:`range_queries`,
+  :func:`knn_queries`) draw seeded workloads **in point space** — the
+  drawn geometry is identical across orderings, only the store addresses
+  differ — and resolve each query to the set of store chunk positions it
+  must fetch plus the number of bytes it actually needs
+  (:class:`Query`).
+* :func:`query_access_stream` lowers resolved queries to
+  :class:`~repro.trace.events.TraceChunk` batches in ascending store
+  order (the fetch schedule of a real store), so the streams feed the
+  existing exact/fast cache simulators unchanged.
+
+Determinism: query sampling uses a local SplitMix64 generator rather
+than ``numpy.random`` so committed golden artifacts cannot drift with
+NumPy's bit-generator streams.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.curves import get_curve
+from repro.curves.hilbert import hilbert_encode_batch
+from repro.errors import TraceError
+from repro.trace.events import TraceChunk
+from repro.util.bits import is_pow2
+
+__all__ = [
+    "QueryStoreSpec",
+    "Query",
+    "bbox_queries",
+    "range_queries",
+    "knn_queries",
+    "generate_queries",
+    "query_access_stream",
+    "QUERY_KINDS",
+]
+
+QUERY_KINDS = ("bbox", "range", "knn")
+
+
+class _SplitMix64:
+    """Tiny deterministic PRNG (SplitMix64): version-proof query sampling."""
+
+    __slots__ = ("_state",)
+    _MASK = (1 << 64) - 1
+
+    def __init__(self, seed: int):
+        self._state = seed & self._MASK
+
+    def next_u64(self) -> int:
+        self._state = (self._state + 0x9E3779B97F4A7C15) & self._MASK
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & self._MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & self._MASK
+        return z ^ (z >> 31)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in ``[lo, hi]`` (inclusive)."""
+        if hi < lo:
+            raise TraceError(f"empty range [{lo}, {hi}]")
+        return lo + self.next_u64() % (hi - lo + 1)
+
+
+@dataclass(frozen=True)
+class QueryStoreSpec:
+    """Geometry and layout of one chunked spatial store.
+
+    ``grid_side`` chunks per side, each covering ``tile_side``^2 points
+    of ``elem_bytes`` each, laid out in the tile row-major; ``ordering``
+    is a curve registry code (``"rm"``/``"mo"``/``"ho"``/...) mapping
+    chunk grid coordinates to linear store positions.  Power-of-two
+    constraints keep chunk byte sizes cache-line composable (the query
+    study simulates the store through caches whose line size *is* the
+    chunk size).
+    """
+
+    grid_side: int
+    tile_side: int = 8
+    elem_bytes: int = 8
+    ordering: str = "ho"
+    base: int = 0
+
+    def __post_init__(self):
+        if self.grid_side <= 0 or not is_pow2(self.grid_side):
+            raise TraceError(
+                f"grid_side must be a positive power of two, got {self.grid_side}"
+            )
+        if self.tile_side <= 0 or not is_pow2(self.tile_side):
+            raise TraceError(
+                f"tile_side must be a positive power of two, got {self.tile_side}"
+            )
+        if self.elem_bytes <= 0 or not is_pow2(self.elem_bytes):
+            raise TraceError(
+                f"elem_bytes must be a positive power of two, got {self.elem_bytes}"
+            )
+        if self.base < 0:
+            raise TraceError(f"base must be non-negative, got {self.base}")
+
+    @property
+    def chunk_points(self) -> int:
+        """Data points per chunk."""
+        return self.tile_side * self.tile_side
+
+    @property
+    def chunk_bytes(self) -> int:
+        """Bytes per chunk (a power of two by construction)."""
+        return self.chunk_points * self.elem_bytes
+
+    @property
+    def side_points(self) -> int:
+        """Point-space side length covered by the store."""
+        return self.grid_side * self.tile_side
+
+    @property
+    def n_chunks(self) -> int:
+        return self.grid_side * self.grid_side
+
+    @property
+    def store_bytes(self) -> int:
+        return self.n_chunks * self.chunk_bytes
+
+    def chunk_positions(self, cy, cx) -> np.ndarray:
+        """Store positions of chunk grid coordinates (vectorized).
+
+        Hilbert goes through the composed-LUT batch encoder
+        (:func:`~repro.curves.hilbert.hilbert_encode_batch`); every
+        other ordering through its registered curve.
+        """
+        cy = np.asarray(cy, dtype=np.uint64)
+        cx = np.asarray(cx, dtype=np.uint64)
+        if self.ordering == "ho":
+            order = self.grid_side.bit_length() - 1
+            if order == 0:
+                return np.zeros(np.broadcast(cy, cx).shape, dtype=np.uint64)
+            ya, xa = np.broadcast_arrays(cy, cx)
+            return hilbert_encode_batch(ya, xa, order)
+        return np.asarray(
+            get_curve(self.ordering, self.grid_side).encode(cy, cx),
+            dtype=np.uint64,
+        ).reshape(np.broadcast(cy, cx).shape)
+
+
+@dataclass(frozen=True)
+class Query:
+    """One resolved spatial query against a particular store layout.
+
+    ``(y0, x0)``–``(y1, x1)`` is the inclusive point-space bounding box
+    of the region the query *reads* (for k-NN: the candidate chunk rings
+    scanned for neighbours); ``positions`` are the sorted store chunk
+    positions fetched; ``useful_bytes`` the bytes the query actually
+    needed (requested points x ``elem_bytes``) — the numerator of chunk
+    utilization.
+    """
+
+    kind: str
+    y0: int
+    x0: int
+    y1: int
+    x1: int
+    positions: np.ndarray
+    useful_bytes: int
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.positions)
+
+
+def _resolve_bbox(spec: QueryStoreSpec, kind: str, y0, x0, y1, x1) -> Query:
+    """Resolve an inclusive point-space box to fetched store positions."""
+    t = spec.tile_side
+    cy0, cy1 = y0 // t, y1 // t
+    cx0, cx1 = x0 // t, x1 // t
+    cys, cxs = np.meshgrid(
+        np.arange(cy0, cy1 + 1, dtype=np.uint64),
+        np.arange(cx0, cx1 + 1, dtype=np.uint64),
+        indexing="ij",
+    )
+    positions = np.sort(spec.chunk_positions(cys.ravel(), cxs.ravel()))
+    useful = (y1 - y0 + 1) * (x1 - x0 + 1) * spec.elem_bytes
+    return Query(
+        kind=kind, y0=int(y0), x0=int(x0), y1=int(y1), x1=int(x1),
+        positions=positions, useful_bytes=int(useful),
+    )
+
+
+def bbox_queries(
+    spec: QueryStoreSpec,
+    n_queries: int,
+    max_extent: int | None = None,
+    min_extent: int = 1,
+    seed: int = 0,
+) -> list[Query]:
+    """Seeded uniform bounding-box queries (the map-viewport workload).
+
+    Each query draws an independent width and height in
+    ``[min_extent, max_extent]`` points and a uniform position at which
+    the box fits inside the store.  The drawn geometry depends only on
+    the spec's point-space size and the seed — **not** on the ordering —
+    so the same seed produces the same spatial workload over every
+    layout (the property suite asserts the touched chunk *sets* match).
+    """
+    side = spec.side_points
+    if max_extent is None:
+        max_extent = max(1, side // 4)
+    if not 1 <= min_extent <= max_extent <= side:
+        raise TraceError(
+            f"extents must satisfy 1 <= {min_extent} <= {max_extent} <= {side}"
+        )
+    if n_queries < 0:
+        raise TraceError(f"n_queries must be non-negative, got {n_queries}")
+    rng = _SplitMix64(seed)
+    queries = []
+    for _ in range(n_queries):
+        h = rng.randint(min_extent, max_extent)
+        w = rng.randint(min_extent, max_extent)
+        y0 = rng.randint(0, side - h)
+        x0 = rng.randint(0, side - w)
+        queries.append(
+            _resolve_bbox(spec, "bbox", y0, x0, y0 + h - 1, x0 + w - 1)
+        )
+    return queries
+
+
+def range_queries(
+    spec: QueryStoreSpec,
+    n_queries: int,
+    length: int | None = None,
+    seed: int = 0,
+) -> list[Query]:
+    """Seeded 1-D range scans: thin elongated boxes, alternating axes.
+
+    Even-indexed queries scan ``length`` points along a row, odd-indexed
+    along a column — the elongated-region case where layout matters
+    most (row-major is perfect along rows and pathological across
+    them; the curves are agnostic).
+    """
+    side = spec.side_points
+    if length is None:
+        length = max(1, side // 2)
+    if not 1 <= length <= side:
+        raise TraceError(f"length must be in [1, {side}], got {length}")
+    if n_queries < 0:
+        raise TraceError(f"n_queries must be non-negative, got {n_queries}")
+    rng = _SplitMix64(seed)
+    queries = []
+    for i in range(n_queries):
+        a0 = rng.randint(0, side - length)
+        b = rng.randint(0, side - 1)
+        if i % 2 == 0:  # along a row
+            q = _resolve_bbox(spec, "range", b, a0, b, a0 + length - 1)
+        else:  # along a column
+            q = _resolve_bbox(spec, "range", a0, b, a0 + length - 1, b)
+        queries.append(q)
+    return queries
+
+
+def knn_queries(
+    spec: QueryStoreSpec,
+    n_queries: int,
+    k: int | None = None,
+    seed: int = 0,
+) -> list[Query]:
+    """Seeded k-nearest-neighbour candidate scans.
+
+    Each query drops a uniform point and fetches whole Chebyshev rings
+    of chunks around its home chunk until the fetched tiles hold at
+    least ``k`` candidate points (the store cannot know which neighbours
+    win without scanning the candidates).  ``useful_bytes`` counts only
+    the ``k`` requested neighbours, so k-NN utilization is intrinsically
+    below 100% even before fetch coalescing.
+    """
+    if k is None:
+        k = spec.chunk_points
+    if k <= 0:
+        raise TraceError(f"k must be positive, got {k}")
+    if k > spec.n_chunks * spec.chunk_points:
+        raise TraceError(f"k={k} exceeds the store's {spec.n_chunks * spec.chunk_points} points")
+    if n_queries < 0:
+        raise TraceError(f"n_queries must be non-negative, got {n_queries}")
+    g = spec.grid_side
+    rng = _SplitMix64(seed)
+    queries = []
+    for _ in range(n_queries):
+        py = rng.randint(0, spec.side_points - 1)
+        px = rng.randint(0, spec.side_points - 1)
+        ccy, ccx = py // spec.tile_side, px // spec.tile_side
+        # Expand whole rings until enough candidate points are covered.
+        radius = 0
+        covered = 0
+        while True:
+            cy0, cy1 = max(0, ccy - radius), min(g - 1, ccy + radius)
+            cx0, cx1 = max(0, ccx - radius), min(g - 1, ccx + radius)
+            covered = (cy1 - cy0 + 1) * (cx1 - cx0 + 1) * spec.chunk_points
+            if covered >= k or (cy1 - cy0 + 1 == g and cx1 - cx0 + 1 == g):
+                break
+            radius += 1
+        t = spec.tile_side
+        q = _resolve_bbox(
+            spec, "knn", cy0 * t, cx0 * t, cy1 * t + t - 1, cx1 * t + t - 1
+        )
+        queries.append(
+            Query(
+                kind="knn", y0=q.y0, x0=q.x0, y1=q.y1, x1=q.x1,
+                positions=q.positions, useful_bytes=min(k, covered) * spec.elem_bytes,
+            )
+        )
+    return queries
+
+
+def generate_queries(
+    spec: QueryStoreSpec, workload: str, n_queries: int, seed: int = 0, **kwargs
+) -> list[Query]:
+    """Dispatch to the named workload generator (``QUERY_KINDS``)."""
+    if workload == "bbox":
+        return bbox_queries(spec, n_queries, seed=seed, **kwargs)
+    if workload == "range":
+        return range_queries(spec, n_queries, seed=seed, **kwargs)
+    if workload == "knn":
+        return knn_queries(spec, n_queries, seed=seed, **kwargs)
+    raise TraceError(
+        f"unknown query workload {workload!r}; available: {QUERY_KINDS}"
+    )
+
+
+def _bbox_line_addrs(spec: QueryStoreSpec, q: Query, line_bytes: int) -> np.ndarray:
+    """Sorted unique line-aligned byte addresses of a box's data points."""
+    t = spec.tile_side
+    ys = np.arange(q.y0, q.y1 + 1, dtype=np.uint64)
+    xs = np.arange(q.x0, q.x1 + 1, dtype=np.uint64)
+    yy, xx = np.meshgrid(ys, xs, indexing="ij")
+    yy, xx = yy.ravel(), xx.ravel()
+    pos = spec.chunk_positions(yy // t, xx // t)
+    offset = ((yy % t) * t + (xx % t)) * spec.elem_bytes
+    addr = spec.base + pos * spec.chunk_bytes + offset
+    lb = np.uint64(line_bytes)
+    return np.unique((addr // lb) * lb)
+
+
+def _chunk_line_addrs(spec: QueryStoreSpec, q: Query, line_bytes: int) -> np.ndarray:
+    """Sorted line-aligned byte addresses covering whole fetched chunks."""
+    lines_per_chunk = max(1, spec.chunk_bytes // line_bytes)
+    starts = spec.base + q.positions * np.uint64(spec.chunk_bytes)
+    offsets = np.arange(lines_per_chunk, dtype=np.uint64) * np.uint64(line_bytes)
+    return (starts[:, None] + offsets[None, :]).ravel()
+
+
+def query_access_stream(
+    spec: QueryStoreSpec,
+    queries: list[Query],
+    line_bytes: int = 64,
+) -> Iterator[TraceChunk]:
+    """Lower resolved queries to one read :class:`TraceChunk` each.
+
+    Addresses are line-aligned and ascending within a query — the fetch
+    schedule of a store that sorts each query's chunk reads by offset.
+    Box-shaped queries (bbox/range) touch the lines holding their
+    requested points; k-NN scans every line of its candidate chunks.
+    The stream plugs straight into the exact/fast cache simulators: with
+    a cache whose ``line_bytes`` equals the spec's ``chunk_bytes``,
+    misses are exactly chunk fetches.
+    """
+    if line_bytes <= 0 or not is_pow2(line_bytes):
+        raise TraceError(f"line_bytes must be a positive power of two, got {line_bytes}")
+    if line_bytes > spec.chunk_bytes:
+        # A line spanning several chunks would alias their addresses
+        # together; the store's chunk must be at least one line.
+        raise TraceError(
+            f"line_bytes ({line_bytes}) exceeds chunk_bytes ({spec.chunk_bytes})"
+        )
+    for q in queries:
+        if q.kind == "knn":
+            addrs = _chunk_line_addrs(spec, q, line_bytes)
+        else:
+            addrs = _bbox_line_addrs(spec, q, line_bytes)
+        yield TraceChunk.reads(addrs)

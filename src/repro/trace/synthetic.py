@@ -50,17 +50,18 @@ def random_trace(
     n_accesses: int,
     footprint_bytes: int,
     elem_bytes: int = 8,
+    base: int = 0,
     seed: int = 0,
     chunk: int = DEFAULT_CHUNK,
 ) -> Iterator[TraceChunk]:
-    """Uniform random reads over a fixed footprint."""
+    """Uniform random reads over a fixed footprint starting at ``base``."""
     if footprint_bytes < elem_bytes:
         raise ValueError("footprint must hold at least one element")
     rng = np.random.default_rng(seed)
     n_elems = footprint_bytes // elem_bytes
     for start, stop in chunk_ranges(n_accesses, chunk):
         idx = rng.integers(0, n_elems, size=stop - start, dtype=np.uint64)
-        yield TraceChunk.reads(idx * elem_bytes)
+        yield TraceChunk.reads(base + idx * elem_bytes)
 
 
 def working_set_loop_trace(

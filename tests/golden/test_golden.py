@@ -49,6 +49,39 @@ class TestMrcGolden:
         )
 
 
+class TestQueryGolden:
+    def test_tiny_study(self, golden):
+        from repro.experiments import run_query_study
+
+        study = run_query_study(grid_side=8, tile_side=4, n_queries=8)
+        golden.check(
+            "query_g8_t4_q8",
+            {
+                "grid_side": study.grid_side,
+                "tile_side": study.tile_side,
+                "fetch_chunks": study.fetch_chunks,
+                "cells": [
+                    {
+                        "workload": w,
+                        "ordering": o,
+                        "chunks_per_query": study.cell(w, o).chunks_per_query,
+                        "utilization": study.cell(w, o).utilization,
+                        "mean_run_chunks": study.cell(w, o).mean_run_chunks,
+                        "seeks_per_query": study.cell(w, o).seeks_per_query,
+                        "fetched_bytes": study.cell(w, o).fetched_bytes,
+                        "useful_bytes": study.cell(w, o).useful_bytes,
+                        "io_seconds": study.cell(w, o).io_seconds,
+                        "cache_miss_rate": study.cell(w, o).cache_miss_rate,
+                        "energy_j": study.cell(w, o).energy_j,
+                        "stream": study.cell(w, o).stream,
+                    }
+                    for w in study.workloads
+                    for o in study.orderings
+                ],
+            },
+        )
+
+
 class TestSweepGolden:
     def test_small_grid(self, golden):
         configs = [

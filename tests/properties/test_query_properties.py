@@ -1,0 +1,93 @@
+"""Property-based tests for the query trace generators (Hypothesis).
+
+The two layout-independence invariants the query study rests on:
+every address a box query streams falls inside the queried box's
+chunks, and the three orderings touch the identical chunk *set* —
+only the linear store positions differ.  Skips gracefully when
+Hypothesis is not installed (exercised by the dedicated CI job).
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.trace.query_trace import (  # noqa: E402
+    QUERY_KINDS,
+    QueryStoreSpec,
+    generate_queries,
+    query_access_stream,
+)
+
+ORDERINGS = ("rm", "mo", "ho")
+
+spec_params = st.tuples(
+    st.sampled_from([2, 4, 8]),      # grid_side
+    st.sampled_from([2, 4]),         # tile_side
+    st.sampled_from(ORDERINGS),
+)
+
+
+def _chunk_coords(spec, positions):
+    """Grid coordinates of store positions, as a canonical sorted set."""
+    cy, cx = np.meshgrid(
+        np.arange(spec.grid_side, dtype=np.uint64),
+        np.arange(spec.grid_side, dtype=np.uint64),
+        indexing="ij",
+    )
+    table = spec.chunk_positions(cy.ravel(), cx.ravel())
+    inv = np.empty(spec.n_chunks, dtype=np.int64)
+    inv[table.astype(np.int64)] = np.arange(spec.n_chunks)
+    return sorted(int(inv[int(p)]) for p in positions)
+
+
+class TestAddressesInsideBox:
+    @given(spec_params, st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_bbox_stream_stays_inside_fetched_chunks(self, params, seed):
+        grid, tile, ordering = params
+        spec = QueryStoreSpec(grid_side=grid, tile_side=tile, ordering=ordering)
+        line_bytes = min(64, spec.chunk_bytes)
+        queries = generate_queries(spec, "bbox", 3, seed=seed)
+        for q, chunk in zip(
+            queries, query_access_stream(spec, queries, line_bytes=line_bytes)
+        ):
+            owners = np.unique(chunk.addr // np.uint64(spec.chunk_bytes))
+            # Every streamed line lives in a chunk the query resolved to.
+            assert set(owners.tolist()) <= set(q.positions.tolist())
+            # And the resolved chunks are exactly the box's chunk cover.
+            rows = range(q.y0 // tile, q.y1 // tile + 1)
+            cols = range(q.x0 // tile, q.x1 // tile + 1)
+            cover = sorted(r * grid + c for r in rows for c in cols)
+            assert _chunk_coords(spec, q.positions) == cover
+
+    @given(spec_params, st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_stream_addresses_inside_store(self, params, seed):
+        grid, tile, ordering = params
+        spec = QueryStoreSpec(grid_side=grid, tile_side=tile, ordering=ordering)
+        line_bytes = min(64, spec.chunk_bytes)
+        for workload in QUERY_KINDS:
+            queries = generate_queries(spec, workload, 2, seed=seed)
+            for chunk in query_access_stream(spec, queries, line_bytes=line_bytes):
+                assert int(chunk.addr.max()) < spec.store_bytes
+
+
+class TestOrderingInvariance:
+    @given(
+        st.sampled_from([2, 4, 8]),
+        st.sampled_from([2, 4]),
+        st.sampled_from(QUERY_KINDS),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_identical_chunk_set_across_orderings(self, grid, tile, workload, seed):
+        covers = []
+        for ordering in ORDERINGS:
+            spec = QueryStoreSpec(grid_side=grid, tile_side=tile, ordering=ordering)
+            queries = generate_queries(spec, workload, 3, seed=seed)
+            covers.append(
+                [_chunk_coords(spec, q.positions) for q in queries]
+            )
+        assert covers[0] == covers[1] == covers[2]

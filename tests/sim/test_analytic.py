@@ -185,3 +185,36 @@ class TestCalibration:
 
     def test_default_models_cover_paper_schemes(self):
         assert set(DEFAULT_MISS_MODELS) == {"rm", "mo", "ho"}
+
+    def test_defaults_are_not_degenerate(self):
+        assert all(not p.degenerate_fit for p in DEFAULT_MISS_MODELS.values())
+
+    def test_calibration_is_warning_free(self):
+        # curve_fit used to leak OptimizeWarning (singular covariance)
+        # into every calibration run; it is now captured and recorded as
+        # a flag on the result instead.
+        import warnings
+
+        pytest.importorskip("scipy")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            params = calibrate_miss_model(
+                "mo", l3_bytes=32 * 1024, n_values=(16, 32)
+            )
+        assert isinstance(params.degenerate_fit, bool)
+
+    def test_degenerate_fit_counted_in_metrics(self, tmp_path):
+        from repro import obs
+
+        pytest.importorskip("scipy")
+        with obs.ObsSession(metrics=tmp_path / "m.json"):
+            params = calibrate_miss_model(
+                "mo", l3_bytes=32 * 1024, n_values=(16, 32)
+            )
+            counted = obs.OBS.metrics.counter_value(
+                "calibrate.degenerate_fits", scheme="mo"
+            )
+        # Two sample points cannot constrain a three-parameter sigmoid:
+        # the covariance is singular, so the flag and counter must fire.
+        assert params.degenerate_fit
+        assert counted == 1

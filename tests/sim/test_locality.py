@@ -1,0 +1,113 @@
+"""Stream-locality metrics (chunk utilization, run-length histograms)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.locality import LocalityMeter, RunLengthStats, run_lengths
+from repro.trace.events import TraceChunk, concat_chunks
+
+
+class TestRunLengths:
+    def test_empty(self):
+        assert run_lengths(np.array([])).size == 0
+
+    def test_single_run(self):
+        np.testing.assert_array_equal(run_lengths(np.arange(5)), [5])
+
+    def test_broken_runs(self):
+        np.testing.assert_array_equal(
+            run_lengths(np.array([0, 1, 2, 10, 11, 20])), [3, 2, 1]
+        )
+
+    def test_duplicates_break_runs(self):
+        np.testing.assert_array_equal(
+            run_lengths(np.array([3, 3, 4])), [1, 2]
+        )
+
+
+class TestRunLengthStats:
+    def test_accumulates(self):
+        s = RunLengthStats()
+        s.observe(np.array([3, 1, 3]))
+        s.observe(np.array([1]))
+        assert s.counts == {1: 2, 3: 2}
+        assert s.n_runs == 4
+        assert s.total == 8
+        assert s.mean == 2.0
+        assert s.max == 3
+
+    def test_empty(self):
+        s = RunLengthStats()
+        assert s.n_runs == 0 and s.mean == 0.0 and s.max == 0
+        assert s.snapshot()["histogram"] == {}
+
+
+class TestLocalityMeter:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(SimulationError):
+            LocalityMeter(line_bytes=48)
+        with pytest.raises(SimulationError):
+            LocalityMeter(line_bytes=64, chunk_bytes=96)
+
+    def test_sequential_stream_full_utilization(self):
+        m = LocalityMeter(line_bytes=64, chunk_bytes=256)
+        # 8 lines = 2 whole chunks, touched completely.
+        m.observe_lines(np.arange(8, dtype=np.uint64))
+        assert m.touched_bytes == 8 * 64
+        assert m.fetched_chunks == 2
+        assert m.utilization == 1.0
+        snap = m.snapshot()
+        assert snap["seq_runs"]["runs"] == 1
+        assert snap["seq_runs"]["histogram"] == {"8": 1}
+
+    def test_sparse_stream_low_utilization(self):
+        m = LocalityMeter(line_bytes=64, chunk_bytes=256)
+        # one line per chunk -> 64 of every 256 bytes used
+        m.observe_lines(np.array([0, 4, 8], dtype=np.uint64))
+        assert m.fetched_chunks == 3
+        assert m.utilization == 0.25
+
+    def test_batch_split_equals_whole(self):
+        lines = np.array([0, 1, 2, 7, 8, 9, 3, 4, 20], dtype=np.uint64)
+        whole = LocalityMeter()
+        whole.observe_lines(lines)
+        ref = whole.snapshot()
+        for cut in range(1, len(lines)):
+            m = LocalityMeter()
+            m.observe_lines(lines[:cut])
+            m.observe_lines(lines[cut:])
+            assert m.snapshot() == ref
+
+    def test_run_continues_across_batches(self):
+        m = LocalityMeter()
+        m.observe_lines(np.array([5, 6], dtype=np.uint64))
+        m.observe_lines(np.array([7, 8], dtype=np.uint64))
+        assert m.snapshot()["seq_runs"]["histogram"] == {"4": 1}
+
+    def test_snapshot_is_non_destructive(self):
+        m = LocalityMeter()
+        m.observe_lines(np.array([0, 1], dtype=np.uint64))
+        assert m.snapshot() == m.snapshot()
+        m.observe_lines(np.array([2], dtype=np.uint64))
+        assert m.snapshot()["seq_runs"]["histogram"] == {"3": 1}
+
+    def test_wrap_is_transparent(self):
+        chunks = [
+            TraceChunk.reads(np.array([0, 64, 128], dtype=np.uint64)),
+            TraceChunk.reads(np.array([4096], dtype=np.uint64)),
+        ]
+        m = LocalityMeter()
+        out = list(m.wrap(iter(chunks)))
+        assert len(out) == 2
+        np.testing.assert_array_equal(
+            concat_chunks(out).addr, concat_chunks(chunks).addr
+        )
+        assert m.accesses == 4
+
+    def test_empty_meter_snapshot(self):
+        m = LocalityMeter()
+        snap = m.snapshot()
+        assert snap["accesses"] == 0
+        assert snap["utilization"] == 0.0
+        assert snap["seq_runs"]["runs"] == 0

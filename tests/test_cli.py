@@ -82,6 +82,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "eff" in out and "HO size 12" in out
 
+    def test_query_small(self, capsys):
+        assert main(["query", "--grid", "8", "--tile", "4",
+                     "--queries", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "workload" in out and "util" in out
+        assert "HO" in out and "MO" in out and "RM" in out
+
+    def test_query_rejects_unknown_workload(self, capsys):
+        assert main(["query", "--grid", "8", "--workloads", "join"]) == 1
+        assert "error" in capsys.readouterr().err
+
     def test_gallery(self, capsys):
         assert main(["gallery", "--order", "1"]) == 0
         out = capsys.readouterr().out

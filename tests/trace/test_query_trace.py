@@ -1,0 +1,181 @@
+"""Chunked-store query trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import concat_chunks
+from repro.trace.query_trace import (
+    QUERY_KINDS,
+    QueryStoreSpec,
+    bbox_queries,
+    generate_queries,
+    knn_queries,
+    query_access_stream,
+    range_queries,
+)
+
+SPEC = QueryStoreSpec(grid_side=8, tile_side=4, elem_bytes=8, ordering="ho")
+
+
+class TestSpec:
+    def test_geometry(self):
+        assert SPEC.chunk_points == 16
+        assert SPEC.chunk_bytes == 128
+        assert SPEC.side_points == 32
+        assert SPEC.n_chunks == 64
+        assert SPEC.store_bytes == 64 * 128
+
+    @pytest.mark.parametrize("bad", [
+        dict(grid_side=3), dict(grid_side=0), dict(tile_side=5),
+        dict(elem_bytes=3), dict(base=-1),
+    ])
+    def test_rejects_bad_geometry(self, bad):
+        with pytest.raises(TraceError):
+            QueryStoreSpec(**{"grid_side": 8, **bad})
+
+    def test_positions_are_a_permutation(self):
+        for ordering in ("rm", "mo", "ho"):
+            spec = QueryStoreSpec(grid_side=8, ordering=ordering)
+            cy, cx = np.meshgrid(np.arange(8), np.arange(8), indexing="ij")
+            pos = spec.chunk_positions(cy.ravel(), cx.ravel())
+            np.testing.assert_array_equal(np.sort(pos), np.arange(64))
+
+    def test_hilbert_matches_registered_curve(self):
+        from repro.curves import get_curve
+
+        spec = QueryStoreSpec(grid_side=8, ordering="ho")
+        curve = get_curve("ho", 8)
+        cy, cx = np.meshgrid(np.arange(8), np.arange(8), indexing="ij")
+        batch = spec.chunk_positions(cy.ravel(), cx.ravel())
+        ref = [curve.encode(int(y), int(x))
+               for y, x in zip(cy.ravel(), cx.ravel())]
+        np.testing.assert_array_equal(batch, np.asarray(ref, dtype=np.uint64))
+
+    def test_degenerate_single_chunk_grid(self):
+        spec = QueryStoreSpec(grid_side=1, tile_side=4, ordering="ho")
+        assert spec.chunk_positions([0], [0])[0] == 0
+
+
+class TestBbox:
+    def test_deterministic(self):
+        a = bbox_queries(SPEC, 16, seed=3)
+        b = bbox_queries(SPEC, 16, seed=3)
+        for qa, qb in zip(a, b):
+            assert (qa.y0, qa.x0, qa.y1, qa.x1) == (qb.y0, qb.x0, qb.y1, qb.x1)
+            np.testing.assert_array_equal(qa.positions, qb.positions)
+
+    def test_inside_store(self):
+        for q in bbox_queries(SPEC, 64, seed=1):
+            assert 0 <= q.y0 <= q.y1 < SPEC.side_points
+            assert 0 <= q.x0 <= q.x1 < SPEC.side_points
+
+    def test_positions_sorted_unique(self):
+        for q in bbox_queries(SPEC, 32, seed=2):
+            assert np.all(np.diff(q.positions.astype(np.int64)) > 0)
+
+    def test_useful_bytes_is_box_area(self):
+        for q in bbox_queries(SPEC, 32, seed=4):
+            area = (q.y1 - q.y0 + 1) * (q.x1 - q.x0 + 1)
+            assert q.useful_bytes == area * SPEC.elem_bytes
+
+    def test_rejects_bad_extents(self):
+        with pytest.raises(TraceError):
+            bbox_queries(SPEC, 1, min_extent=5, max_extent=4)
+        with pytest.raises(TraceError):
+            bbox_queries(SPEC, 1, max_extent=SPEC.side_points + 1)
+        with pytest.raises(TraceError):
+            bbox_queries(SPEC, -1)
+
+
+class TestRange:
+    def test_alternating_orientation(self):
+        qs = range_queries(SPEC, 4, length=8, seed=0)
+        assert qs[0].y0 == qs[0].y1 and qs[0].x1 - qs[0].x0 == 7
+        assert qs[1].x0 == qs[1].x1 and qs[1].y1 - qs[1].y0 == 7
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(TraceError):
+            range_queries(SPEC, 1, length=0)
+        with pytest.raises(TraceError):
+            range_queries(SPEC, 1, length=SPEC.side_points + 1)
+
+
+class TestKnn:
+    def test_small_k_stays_in_one_chunk_ring(self):
+        for q in knn_queries(SPEC, 16, k=1, seed=5):
+            assert q.n_chunks == 1
+            assert q.useful_bytes == SPEC.elem_bytes
+
+    def test_covers_at_least_k(self):
+        k = 3 * SPEC.chunk_points
+        for q in knn_queries(SPEC, 16, k=k, seed=6):
+            assert q.n_chunks * SPEC.chunk_points >= k
+            assert q.useful_bytes == k * SPEC.elem_bytes
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(TraceError):
+            knn_queries(SPEC, 1, k=0)
+        with pytest.raises(TraceError):
+            knn_queries(SPEC, 1, k=SPEC.n_chunks * SPEC.chunk_points + 1)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("workload", QUERY_KINDS)
+    def test_known_kinds(self, workload):
+        qs = generate_queries(SPEC, workload, 4, seed=0)
+        assert len(qs) == 4
+        assert all(q.kind == workload for q in qs)
+
+    def test_unknown_kind(self):
+        with pytest.raises(TraceError):
+            generate_queries(SPEC, "join", 1)
+
+
+class TestAccessStream:
+    def test_one_chunk_per_query_addresses_line_aligned(self):
+        qs = bbox_queries(SPEC, 8, seed=7)
+        chunks = list(query_access_stream(SPEC, qs, line_bytes=64))
+        assert len(chunks) == len(qs)
+        for c in chunks:
+            assert np.all(c.addr % 64 == 0)
+            assert np.all(np.diff(c.addr.astype(np.int64)) > 0)
+            assert not c.is_write.any()
+
+    def test_addresses_fall_in_fetched_chunks(self):
+        qs = bbox_queries(SPEC, 8, seed=8)
+        for q, c in zip(qs, query_access_stream(SPEC, qs)):
+            owners = np.unique(c.addr // np.uint64(SPEC.chunk_bytes))
+            np.testing.assert_array_equal(owners, q.positions)
+
+    def test_knn_scans_whole_chunks(self):
+        qs = knn_queries(SPEC, 4, k=1, seed=9)
+        lines_per_chunk = SPEC.chunk_bytes // 64
+        for q, c in zip(qs, query_access_stream(SPEC, qs, line_bytes=64)):
+            assert len(c) == q.n_chunks * lines_per_chunk
+
+    def test_base_offset(self):
+        spec = QueryStoreSpec(grid_side=4, tile_side=4, base=1 << 20)
+        qs = bbox_queries(spec, 4, seed=0)
+        c = concat_chunks(list(query_access_stream(spec, qs)))
+        assert int(c.addr.min()) >= 1 << 20
+
+    def test_rejects_bad_line_bytes(self):
+        with pytest.raises(TraceError):
+            list(query_access_stream(SPEC, [], line_bytes=48))
+
+    def test_rejects_line_larger_than_chunk(self):
+        small = QueryStoreSpec(grid_side=4, tile_side=2, elem_bytes=8)
+        assert small.chunk_bytes == 32
+        with pytest.raises(TraceError):
+            list(query_access_stream(small, [], line_bytes=64))
+
+    def test_identical_spatial_stream_across_orderings(self):
+        # Same seed -> same point-space geometry regardless of layout.
+        for workload in QUERY_KINDS:
+            boxes = set()
+            for ordering in ("rm", "mo", "ho"):
+                spec = QueryStoreSpec(grid_side=8, tile_side=4, ordering=ordering)
+                qs = generate_queries(spec, workload, 12, seed=11)
+                boxes.add(tuple((q.y0, q.x0, q.y1, q.x1) for q in qs))
+            assert len(boxes) == 1

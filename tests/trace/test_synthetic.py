@@ -46,6 +46,14 @@ class TestRandom:
         b = concat_chunks(list(random_trace(100, 4096, seed=7)))
         np.testing.assert_array_equal(a.addr, b.addr)
 
+    def test_base_offset(self):
+        # API parity with sequential/strided: composed calibration
+        # streams must be able to place their footprints apart.
+        plain = concat_chunks(list(random_trace(100, 1024, seed=7)))
+        offset = concat_chunks(list(random_trace(100, 1024, base=1 << 20, seed=7)))
+        np.testing.assert_array_equal(offset.addr, plain.addr + (1 << 20))
+        assert int(offset.addr.min()) >= 1 << 20
+
     def test_rejects_tiny_footprint(self):
         with pytest.raises(ValueError):
             list(random_trace(10, footprint_bytes=4))
