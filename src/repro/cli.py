@@ -14,6 +14,8 @@
 * ``atlas``      — the tiled-vs-naive wall-clock comparison.
 * ``hardware``   — the future-work index-hardware study.
 * ``gallery``    — Figures 1/2 as ASCII art.
+* ``trace``      — materialize a trace spec to a columnar IR file,
+  print segment statistics and verify checksums.
 * ``trace-report`` — span-tree summary of a ``--trace`` file.
 
 ``sweep``/``cachegrind``/``mrc`` accept ``--trace FILE`` (JSONL span
@@ -143,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="raise",
                    help="worker-failure policy: fail fast, or degrade to "
                         "the bit-identical serial path")
+    c.add_argument("--trace-cache", default=None, metavar="DIR",
+                   help="materialize each scheme's trace into this "
+                        "content-addressed trace-IR cache and stream it "
+                        "memory-mapped (bit-identical reports)")
     _add_obs_flags(c)
 
     m = sub.add_parser("mrc", help="miss-ratio curves (capacity vs conflict)")
@@ -166,6 +172,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="raise",
                    help="worker-failure policy: fail fast, or degrade to "
                         "the bit-identical serial path")
+    m.add_argument("--trace-cache", default=None, metavar="DIR",
+                   help="materialize each scheme's trace into this "
+                        "content-addressed trace-IR cache and stream it "
+                        "memory-mapped (bit-identical curves)")
     _add_obs_flags(m)
 
     q = sub.add_parser(
@@ -190,6 +200,28 @@ def build_parser() -> argparse.ArgumentParser:
                    default="auto",
                    help="fast-engine kernel backend")
     _add_obs_flags(q)
+
+    t = sub.add_parser(
+        "trace",
+        help="materialize a trace spec to a columnar IR file: segment "
+             "stats, compression ratio, checksum verification",
+    )
+    t.add_argument("--kind", required=True,
+                   choices=("matmul", "blocked", "synthetic", "query"),
+                   help="trace generator family (repro.trace.ir.TRACE_KINDS)")
+    t.add_argument("--params", required=True, metavar="JSON",
+                   help="generator parameters as a JSON object, e.g. "
+                        "'{\"n\": 64, \"scheme_a\": \"ho\", \"scheme_b\": "
+                        "\"ho\", \"scheme_c\": \"ho\"}'")
+    t.add_argument("--line-bytes", type=int, default=64,
+                   help="cache-line granularity the addresses are lowered "
+                        "to (power of two)")
+    t.add_argument("--output", default=None, metavar="FILE",
+                   help="write the IR file here instead of the "
+                        "content-addressed cache")
+    t.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="trace-IR cache root (default: "
+                        "$XDG_CACHE_HOME/sfc-repro/traceir)")
 
     tr = sub.add_parser(
         "trace-report",
@@ -362,7 +394,7 @@ def _cmd_cachegrind(args) -> int:
             backend=args.backend, tail_threshold=args.tail_threshold,
             workers=args.workers,
             checkpoint=args.checkpoint, resume=args.resume,
-            on_failure=args.on_failure,
+            on_failure=args.on_failure, trace_cache=args.trace_cache,
         )
     print(study.summary())
     print()
@@ -381,7 +413,7 @@ def _cmd_mrc(args) -> int:
             n=args.n, sample_rows=args.rows, engine=args.engine,
             backend=args.backend, workers=args.workers,
             checkpoint=args.checkpoint, resume=args.resume,
-            on_failure=args.on_failure,
+            on_failure=args.on_failure, trace_cache=args.trace_cache,
         )
     print(render_mrc(curves))
     return 0
@@ -400,6 +432,55 @@ def _cmd_query(args) -> int:
             engine=args.engine, backend=args.backend,
         )
     print(render_query_table(study))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.errors import TraceError
+    from repro.trace.ir import (
+        TraceIRCache,
+        TraceIRReader,
+        build_trace_chunks,
+        trace_fingerprint,
+        write_trace_ir,
+    )
+
+    try:
+        params = json.loads(args.params)
+    except ValueError as exc:
+        raise TraceError(f"--params is not valid JSON: {exc}") from None
+    if not isinstance(params, dict):
+        raise TraceError("--params must be a JSON object")
+
+    if args.output:
+        fp = trace_fingerprint(args.kind, params, args.line_bytes)
+        path = write_trace_ir(
+            args.output, build_trace_chunks(args.kind, params),
+            args.line_bytes,
+            meta={"kind": args.kind, "params": params, "fingerprint": fp},
+        )
+    else:
+        path = TraceIRCache(args.cache_dir).get_or_build(
+            args.kind, params, args.line_bytes
+        )
+
+    with TraceIRReader(path) as reader:
+        # stats() re-decodes every segment, so it doubles as a full
+        # digest verification pass.
+        st = reader.stats()
+        print(f"trace IR: {path}")
+        print(f"  kind          {args.kind}")
+        print(f"  accesses      {st.accesses:,}")
+        print(f"  segments      {st.segments:,}")
+        print(f"  unique lines  {st.unique_lines:,}")
+        print(f"  writes        {st.writes:,}")
+        print(f"  line bytes    {st.line_bytes}")
+        print(f"  encoded       {st.encoded_bytes:,} B")
+        print(f"  raw columns   {st.raw_bytes:,} B")
+        print(f"  compression   {st.compression_ratio:.2f}x")
+        print("  checksums     OK (every segment digest verified)")
     return 0
 
 
@@ -494,6 +575,7 @@ _COMMANDS = {
     "cachegrind": _cmd_cachegrind,
     "mrc": _cmd_mrc,
     "query": _cmd_query,
+    "trace": _cmd_trace,
     "trace-report": _cmd_trace_report,
     "atlas": _cmd_atlas,
     "hardware": _cmd_hardware,

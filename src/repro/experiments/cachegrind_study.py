@@ -96,11 +96,15 @@ def _scheme_report(
     backend: str = "numpy",
     tail_threshold: int | None = None,
     obs_ctx=None,
+    trace_cache: str | None = None,
 ) -> CachegrindReport:
     """One scheme's full instrumentation run (process-pool task).
 
     ``backend`` rides along as a plain string so the spawn-pickled pool
-    task re-resolves it in the worker process.
+    task re-resolves it in the worker process.  ``trace_cache`` (a
+    directory path) switches trace input to a content-addressed,
+    memory-mapped trace-IR file (:mod:`repro.trace.ir`): generated once,
+    streamed pre-lowered on every subsequent run — bit-identical output.
     """
     with obs.attach(obs_ctx), obs.span(
         "study.cachegrind.scheme", scheme=scheme, n=n, backend=backend
@@ -110,7 +114,17 @@ def _scheme_report(
             tail_threshold=tail_threshold,
         )
         spec = MatmulTraceSpec.uniform(n, scheme)
-        report = sim.run(naive_matmul_trace(spec, rows=rows))
+        if trace_cache is not None:
+            from repro.trace.ir import TraceIRReader, matmul_trace_ir
+
+            path = matmul_trace_ir(
+                spec, rows=list(rows),
+                line_bytes=machine.l1.line_bytes, cache_dir=trace_cache,
+            )
+            with TraceIRReader(path) as reader:
+                report = sim.run_ir(reader)
+        else:
+            report = sim.run(naive_matmul_trace(spec, rows=rows))
         obs.count("study.schemes_done", study="cachegrind")
         return report
 
@@ -140,6 +154,7 @@ def run_cachegrind_study(
     checkpoint: str | Path | None = None,
     resume: bool = False,
     on_failure: str = "raise",
+    trace_cache: str | None = None,
 ) -> CachegrindStudyResult:
     """Run the study at the paper's capacity ratio.
 
@@ -152,6 +167,11 @@ def run_cachegrind_study(
     loop, which remains the ``workers=None`` path.  A pool failure raises
     unless ``on_failure="serial"``, which recomputes the affected schemes
     in-process with a warning.
+
+    ``trace_cache`` names a trace-IR cache directory
+    (:mod:`repro.trace.ir`): each scheme's trace is materialized there
+    once (content-addressed) and streamed memory-mapped thereafter,
+    instead of being regenerated per run — bit-identical reports.
 
     ``checkpoint`` journals each completed scheme's report to an
     append-only file (:class:`~repro.robust.StudyCheckpoint`);
@@ -181,9 +201,10 @@ def run_cachegrind_study(
             "rows": list(rows),
             "schemes": list(schemes),
             "prefetch": prefetch,
-            # The kernel backend is deliberately NOT part of the
-            # checkpoint identity: backends are bit-identical, so a
-            # journal written under one resumes under any other.
+            # The kernel backend and trace input path (live generator vs
+            # cached trace IR) are deliberately NOT part of the
+            # checkpoint identity: both are bit-identical, so a journal
+            # written under one resumes under any other.
             "engine": engine,
             "machine": asdict(machine),
         }
@@ -221,6 +242,7 @@ def run_cachegrind_study(
                     scheme: pool.submit(
                         _scheme_report, machine, n, rows, scheme, prefetch,
                         engine, backend, tail_threshold, obs.worker_context(),
+                        trace_cache,
                     )
                     for scheme in todo
                 }
@@ -237,6 +259,7 @@ def run_cachegrind_study(
                             _scheme_report(
                                 machine, n, rows, scheme, prefetch, engine,
                                 backend, tail_threshold,
+                                trace_cache=trace_cache,
                             ),
                         )
         else:
@@ -245,7 +268,7 @@ def run_cachegrind_study(
                     scheme,
                     _scheme_report(
                         machine, n, rows, scheme, prefetch, engine, backend,
-                        tail_threshold,
+                        tail_threshold, trace_cache=trace_cache,
                     ),
                 )
     # Scheme order in the output is the caller's order regardless of

@@ -28,7 +28,7 @@ from repro.errors import ExperimentError
 from repro.robust import StudyCheckpoint, validate_on_failure, warn_degraded
 from repro.sim.fastcache import make_cache
 from repro.sim.config import CacheSpec
-from repro.sim.stackdist import miss_curve, reuse_distances
+from repro.sim.stackdist import line_reuse_distances, miss_curve, reuse_distances
 from repro.trace.matmul_trace import MatmulTraceSpec, naive_matmul_trace
 
 __all__ = ["MissRatioCurve", "run_mrc_study", "render_mrc"]
@@ -68,26 +68,67 @@ def _scheme_curve(
     engine: str = "exact",
     backend: str = "numpy",
     obs_ctx=None,
+    trace_cache: str | None = None,
 ) -> MissRatioCurve:
-    """One scheme's full decomposition (process-pool task)."""
+    """One scheme's full decomposition (process-pool task).
+
+    With ``trace_cache`` set, the scheme's trace is materialized once
+    into the content-addressed trace-IR cache (:mod:`repro.trace.ir`)
+    and every capacity point streams the same memory-mapped, pre-lowered
+    file — instead of each scheme task regenerating the trace and
+    holding it as chunk objects.  Output is bit-identical: the IR
+    carries exactly the line stream :func:`reuse_distances` and
+    ``access_chunk`` would derive.
+    """
     with obs.attach(obs_ctx), obs.span(
         "study.mrc.scheme", scheme=scheme, n=n, capacities=len(caps),
         engine=engine, backend=backend,
     ):
         spec = MatmulTraceSpec.uniform(n, scheme)
-        trace = list(naive_matmul_trace(spec, rows=rows))
-        dists = reuse_distances(iter(trace), line_bytes=line_bytes)
-        capacity_misses = miss_curve(dists, caps.values())
-        mpi_cap = {u: capacity_misses[c] / iterations for u, c in caps.items()}
-        mpi_tot = {}
-        for u, cap_lines in caps.items():
-            cache = make_cache(
-                CacheSpec("mrc", cap_lines * line_bytes, line_bytes, assoc),
-                engine=engine, backend=backend,
+        if trace_cache is not None:
+            from repro.trace.ir import TraceIRReader, matmul_trace_ir
+
+            path = matmul_trace_ir(
+                spec, rows=rows, line_bytes=line_bytes,
+                cache_dir=trace_cache,
             )
-            for chunk in trace:
-                cache.access_chunk(chunk)
-            mpi_tot[u] = cache.stats.misses / iterations
+            with TraceIRReader(path) as reader:
+                seg_lines = [seg[0] for seg in reader.segments()]
+                all_lines = (
+                    np.concatenate(seg_lines) if seg_lines
+                    else np.empty(0, dtype=np.uint64)
+                )
+                del seg_lines
+                dists = line_reuse_distances(all_lines)
+                del all_lines
+                capacity_misses = miss_curve(dists, caps.values())
+                del dists
+                mpi_cap = {
+                    u: capacity_misses[c] / iterations for u, c in caps.items()
+                }
+                mpi_tot = {}
+                for u, cap_lines in caps.items():
+                    cache = make_cache(
+                        CacheSpec("mrc", cap_lines * line_bytes, line_bytes, assoc),
+                        engine=engine, backend=backend,
+                    )
+                    for seg in reader.segments():
+                        cache.access_lines(*seg)
+                    mpi_tot[u] = cache.stats.misses / iterations
+        else:
+            trace = list(naive_matmul_trace(spec, rows=rows))
+            dists = reuse_distances(iter(trace), line_bytes=line_bytes)
+            capacity_misses = miss_curve(dists, caps.values())
+            mpi_cap = {u: capacity_misses[c] / iterations for u, c in caps.items()}
+            mpi_tot = {}
+            for u, cap_lines in caps.items():
+                cache = make_cache(
+                    CacheSpec("mrc", cap_lines * line_bytes, line_bytes, assoc),
+                    engine=engine, backend=backend,
+                )
+                for chunk in trace:
+                    cache.access_chunk(chunk)
+                mpi_tot[u] = cache.stats.misses / iterations
         obs.count("study.schemes_done", study="mrc")
         return MissRatioCurve(
             scheme=scheme, n=n, assoc=assoc,
@@ -129,6 +170,7 @@ def run_mrc_study(
     checkpoint: str | Path | None = None,
     resume: bool = False,
     on_failure: str = "raise",
+    trace_cache: str | None = None,
 ) -> list[MissRatioCurve]:
     """Decompose the naive kernel's misses per scheme and capacity ratio.
 
@@ -141,6 +183,12 @@ def run_mrc_study(
     loop, which remains the ``workers=None`` path.  A pool failure raises
     unless ``on_failure="serial"``, which recomputes the affected schemes
     in-process with a warning.
+
+    ``trace_cache`` names a trace-IR cache directory
+    (:mod:`repro.trace.ir`): each scheme's trace is materialized there
+    once and every capacity point streams the same memory-mapped file,
+    instead of regenerating and holding the trace per task —
+    bit-identical curves.  Not part of the checkpoint identity.
 
     ``checkpoint``/``resume`` journal each completed scheme's curve
     (:class:`~repro.robust.StudyCheckpoint`): a restarted run skips the
@@ -213,7 +261,7 @@ def run_mrc_study(
                     scheme: pool.submit(
                         _scheme_curve, scheme, n, rows, iterations, caps,
                         line_bytes, assoc, engine, backend,
-                        obs.worker_context(),
+                        obs.worker_context(), trace_cache,
                     )
                     for scheme in todo
                 }
@@ -230,6 +278,7 @@ def run_mrc_study(
                             _scheme_curve(
                                 scheme, n, rows, iterations, caps, line_bytes,
                                 assoc, engine, backend,
+                                trace_cache=trace_cache,
                             ),
                         )
         else:
@@ -238,7 +287,7 @@ def run_mrc_study(
                     scheme,
                     _scheme_curve(
                         scheme, n, rows, iterations, caps, line_bytes, assoc,
-                        engine, backend,
+                        engine, backend, trace_cache=trace_cache,
                     ),
                 )
     return [curves[s] for s in schemes]

@@ -98,10 +98,41 @@ class CachegrindSim:
         if len(lines):
             self.ll.access_lines(lines, w, t)
 
+    def consume_lines(
+        self, lines: np.ndarray, is_write: np.ndarray, tags: np.ndarray
+    ) -> None:
+        """Feed one pre-lowered line segment through D1 then LL.
+
+        The trace-IR ingestion path: bit-identical to :meth:`consume` on
+        the chunk the segment was lowered from, minus the address→line
+        shift.
+        """
+        miss_lines, w, t = self.d1.access_lines(lines, is_write, tags)
+        if len(miss_lines):
+            self.ll.access_lines(miss_lines, w, t)
+
     def run(self, trace) -> "CachegrindReport":
         """Consume an iterable of chunks and report."""
         for chunk in trace:
             self.consume(chunk)
+        return self.report()
+
+    def run_ir(self, reader) -> "CachegrindReport":
+        """Stream a :class:`~repro.trace.ir.TraceIRReader` and report.
+
+        Decodes one segment at a time (bounded-window), so the trace
+        never materializes in full.  The reader's lowering granularity
+        must match the simulated line size.
+        """
+        from repro.errors import TraceError
+
+        if reader.line_bytes != self.d1.spec.line_bytes:
+            raise TraceError(
+                f"trace IR lowered at {reader.line_bytes} B lines cannot "
+                f"drive a {self.d1.spec.line_bytes} B-line cache"
+            )
+        for lines, w, t in reader.segments():
+            self.consume_lines(lines, w, t)
         return self.report()
 
     def report(self) -> CachegrindReport:

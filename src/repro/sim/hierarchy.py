@@ -91,6 +91,22 @@ class CoreHierarchy:
             return lines, w, t
         return self.l2.access_lines(lines, w, t)
 
+    def access_lines(
+        self, lines: np.ndarray, is_write: np.ndarray, tags: np.ndarray
+    ):
+        """:meth:`access_chunk` for an already-lowered line segment.
+
+        The trace-IR ingestion path (:mod:`repro.trace.ir`): segments
+        carry line numbers at the hierarchy's line granularity, so the
+        per-chunk address→line shift disappears from the hot path.
+        Bit-identical to :meth:`access_chunk` on the chunk the segment
+        was lowered from.
+        """
+        miss_lines, w, t = self.l1.access_lines(lines, is_write, tags)
+        if len(miss_lines) == 0:
+            return miss_lines, w, t
+        return self.l2.access_lines(miss_lines, w, t)
+
     def state_snapshot(self) -> dict:
         """Picklable contents + statistics of both private levels."""
         return {"l1": self.l1.state_snapshot(), "l2": self.l2.state_snapshot()}

@@ -128,6 +128,7 @@ class MulticoreTraceSim:
         hang_timeout_s: float | None = None,
         heartbeat_s: float | None = None,
         on_failure: str = "raise",
+        trace_cache: str | None = None,
     ):
         if schedule not in ("static", "cyclic"):
             raise SimulationError(
@@ -149,6 +150,14 @@ class MulticoreTraceSim:
 
         self.backend = resolve_backend(backend)
         self.workers = workers
+        # Root of the content-addressed trace-IR cache
+        # (:mod:`repro.trace.ir`).  With ``workers`` set, each thread's
+        # shard is materialized here once (parent-side, warm across
+        # repeated runs) and the workers memory-map it instead of
+        # regenerating the trace — bit-identical results, shared
+        # read-only pages.  The serial path deliberately stays on live
+        # generation: it is the differential oracle.
+        self.trace_cache = trace_cache
         self.fault_plan = fault_plan
         self.hang_timeout_s = hang_timeout_s
         self.heartbeat_s = heartbeat_s
@@ -207,6 +216,20 @@ class MulticoreTraceSim:
                     {} if self.heartbeat_s is None
                     else {"heartbeat_s": self.heartbeat_s}
                 )
+                ir_paths = None
+                if self.trace_cache is not None:
+                    from repro.trace.ir import matmul_trace_ir
+
+                    ir_paths = [
+                        matmul_trace_ir(
+                            self.spec,
+                            rows=trows,
+                            cols_per_chunk=self.cols_per_chunk,
+                            line_bytes=self.machine.l1.line_bytes,
+                            cache_dir=self.trace_cache,
+                        )
+                        for trows in thread_rows
+                    ]
                 try:
                     run_parallel(
                         self,
@@ -214,6 +237,7 @@ class MulticoreTraceSim:
                         workers=self.workers,
                         fault_plan=self.fault_plan,
                         hang_timeout_s=self.hang_timeout_s,
+                        ir_paths=ir_paths,
                         **extra,
                     )
                     return self.result()

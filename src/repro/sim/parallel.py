@@ -8,14 +8,21 @@ structure:
 
 * **Stage 1 — private phase (workers).**  Threads are assigned
   round-robin to ``min(workers, threads)`` spawned worker processes.
-  Each worker regenerates its threads' trace shards locally from the
-  picklable :class:`~repro.trace.matmul_trace.MatmulTraceSpec` (raw trace
-  chunks are never shipped across processes), runs them through fresh
+  Each worker obtains its threads' trace shards locally — either by
+  regenerating them from the picklable
+  :class:`~repro.trace.matmul_trace.MatmulTraceSpec`, or (with
+  ``ir_paths``) by memory-mapping pre-materialized trace-IR files
+  (:mod:`repro.trace.ir`), whose read-only pages the OS shares across
+  every worker and whose pre-lowered line segments skip the
+  address→line shift entirely; raw trace chunks are never shipped
+  across processes.  It runs the shards through fresh
   :class:`~repro.sim.hierarchy.CoreHierarchy` instances seeded with the
-  parent's carried-state snapshots, and streams each chunk's L2 miss
-  stream back as a compact npz blob on a bounded queue.  When a thread's
-  generator is exhausted the worker sends that core's final private-state
-  snapshot (cache contents + :class:`~repro.sim.cache.CacheStats`).
+  parent's carried-state snapshots, and streams each chunk's L2-miss
+  residue back as a compact columnar IR frame (delta+bit-packed,
+  SHA-256-verified — the :func:`repro.trace.ir.encode_frame` codec) on
+  a bounded queue.  When a thread's generator is exhausted the worker
+  sends that core's final private-state snapshot (cache contents +
+  :class:`~repro.sim.cache.CacheStats`).
 * **Stage 2 — shared phase (parent).**  The parent consumes the miss
   streams in exactly the serial round-robin chunk order (thread 0 chunk
   0, thread 1 chunk 0, ...) and replays them into each socket's shared
@@ -60,7 +67,6 @@ enforces this differentially).
 
 from __future__ import annotations
 
-import io
 import multiprocessing as mp
 import queue as queue_mod
 import sys
@@ -70,10 +76,11 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro import obs
-from repro.errors import SimulationError, WorkerCrashError
+from repro.errors import SimulationError, TraceError, WorkerCrashError
 from repro.robust import DEFAULT_HEARTBEAT_S, FaultPlan, Watchdog, corrupt_blob, execute_fault
 from repro.sim.config import MachineSpec
 from repro.sim.hierarchy import CoreHierarchy
+from repro.trace.ir import TraceIRReader, decode_frame, encode_frame
 from repro.trace.matmul_trace import MatmulTraceSpec, naive_matmul_trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -111,16 +118,23 @@ _DRAIN_GRACE_S = 0.25
 def pack_miss_stream(
     lines: np.ndarray, is_write: np.ndarray, tags: np.ndarray
 ) -> bytes:
-    """Serialize one chunk's L2 miss stream as a compact npz blob."""
-    buf = io.BytesIO()
-    np.savez(buf, lines=lines, is_write=is_write, tags=tags)
-    return buf.getvalue()
+    """Serialize one chunk's L2-miss residue as a columnar IR frame.
+
+    Delta+bit-packed with a SHA-256 digest
+    (:func:`repro.trace.ir.encode_frame`) — a fraction of the npz blobs
+    these queues used to carry, and self-verifying: a frame corrupted in
+    flight fails its digest on :func:`unpack_miss_stream`.
+    """
+    return encode_frame(lines, is_write, tags)
 
 
 def unpack_miss_stream(blob: bytes) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Inverse of :func:`pack_miss_stream`."""
-    with np.load(io.BytesIO(blob)) as z:
-        return z["lines"], z["is_write"], z["tags"]
+    """Inverse of :func:`pack_miss_stream`.
+
+    Raises :class:`~repro.errors.TraceError` on a torn or corrupt frame.
+    """
+    lines, is_write, tags, _ = decode_frame(blob)
+    return lines, is_write, tags
 
 
 def _private_phase_worker(
@@ -137,13 +151,19 @@ def _private_phase_worker(
     fault_plan: FaultPlan | None,
     heartbeat_s: float,
     obs_ctx=None,
+    ir_paths: list | None = None,
 ) -> None:
     """Stage 1: simulate this worker's threads' private L1/L2.
 
     Mirrors the serial round-robin loop over the assigned thread subset,
     so the queue's message order matches the parent's consumption order.
-    ``fault_plan`` faults fire by chunk step; exceptions are shipped back
-    as an error message rather than dying silently.  ``obs_ctx`` (a
+    With ``ir_paths`` (one pre-materialized trace-IR file per assigned
+    thread, aligned with ``thread_ids``), shards are memory-mapped and
+    streamed one pre-lowered segment at a time instead of regenerated;
+    segment boundaries equal the generator's chunk boundaries, so the
+    message stream is identical either way.  ``fault_plan`` faults fire
+    by chunk step; exceptions are shipped back as an error message
+    rather than dying silently.  ``obs_ctx`` (a
     :class:`repro.obs.SpanContext` or ``None``) re-attaches the parent's
     trace so this worker's spans land in the same tree.
     """
@@ -163,15 +183,28 @@ def _private_phase_worker(
         ) as wspan:
             cores: dict[int, CoreHierarchy] = {}
             gens: dict[int, object] = {}
-            for t, rows in zip(thread_ids, thread_rows):
+            readers: list[TraceIRReader] = []
+            use_ir = ir_paths is not None
+            for i, (t, rows) in enumerate(zip(thread_ids, thread_rows)):
                 core = CoreHierarchy(machine, engine=engine, backend=backend)
                 snap = snapshots.get(t)
                 if snap is not None:
                     core.load_state(snap)
                 cores[t] = core
-                gens[t] = naive_matmul_trace(
-                    spec, rows=rows, cols_per_chunk=cols_per_chunk
-                )
+                if use_ir:
+                    reader = TraceIRReader(ir_paths[i])
+                    if reader.line_bytes != machine.l1.line_bytes:
+                        raise TraceError(
+                            f"trace IR lowered at {reader.line_bytes} B "
+                            f"lines cannot drive {machine.l1.line_bytes} "
+                            f"B-line caches"
+                        )
+                    readers.append(reader)
+                    gens[t] = reader.segments()
+                else:
+                    gens[t] = naive_matmul_trace(
+                        spec, rows=rows, cols_per_chunk=cols_per_chunk
+                    )
             step = 0
             live = list(thread_ids)
             while live:
@@ -184,18 +217,23 @@ def _private_phase_worker(
                         execute_fault(fault)
                     step += 1
                     try:
-                        chunk = next(gens[t])
+                        item = next(gens[t])
                     except StopIteration:
                         send((_MSG_DONE, t, cores[t].state_snapshot()))
                         finished.append(t)
                         continue
-                    lines, w, tags = cores[t].access_chunk(chunk)
+                    if use_ir:
+                        lines, w, tags = cores[t].access_lines(*item)
+                    else:
+                        lines, w, tags = cores[t].access_chunk(item)
                     blob = pack_miss_stream(lines, w, tags)
                     if fault is not None and fault.kind == "corrupt":
                         blob = corrupt_blob(blob)
                     send((_MSG_MISS, t, blob))
                 for t in finished:
                     live.remove(t)
+            for reader in readers:
+                reader.close()
             wspan.set(chunks=step)
             # Worker-side counters accumulated in the attach-installed
             # registry ride home after the last DONE; the parent merges
@@ -251,6 +289,7 @@ def run_parallel(
     fault_plan: FaultPlan | None = None,
     hang_timeout_s: float | None = None,
     heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    ir_paths: list | None = None,
 ) -> None:
     """Run one simulation pass, leaving ``sim``'s sockets in the exact
     state the serial loop would have produced.
@@ -260,6 +299,11 @@ def run_parallel(
     ``run()`` calls is snapshotted into the workers and the final private
     states are restored into the parent, so repeated runs on one sim
     object (the calibration warm-up pattern) stay bit-identical too.
+
+    ``ir_paths`` (one pre-materialized trace-IR file per thread, indexed
+    by thread id) switches the workers from regenerating their shards to
+    memory-mapping them — see :mod:`repro.trace.ir`; results are
+    bit-identical either way.
 
     Failure semantics: a worker that raises, dies or ships a corrupt
     payload raises :class:`WorkerCrashError`; with ``hang_timeout_s``
@@ -308,6 +352,8 @@ def run_parallel(
                     fault_plan,
                     heartbeat_s,
                     obs_ctx,
+                    None if ir_paths is None
+                    else [str(ir_paths[t]) for t in per_worker[w]],
                 ),
                 daemon=True,
             )

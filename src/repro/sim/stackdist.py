@@ -46,7 +46,13 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.trace.events import TraceChunk
 
-__all__ = ["reuse_distances", "reuse_distances_fenwick", "miss_curve", "COLD"]
+__all__ = [
+    "reuse_distances",
+    "reuse_distances_fenwick",
+    "line_reuse_distances",
+    "miss_curve",
+    "COLD",
+]
 
 #: Sentinel distance for first-touch (cold) accesses.
 COLD = np.iinfo(np.int64).max
@@ -143,6 +149,16 @@ def reuse_distances(
         return np.empty(0, dtype=np.int64)
     lines = np.concatenate([c.lines(line_bytes) for c in chunks])
     return _line_reuse_distances(lines)
+
+
+def line_reuse_distances(lines: np.ndarray) -> np.ndarray:
+    """:func:`reuse_distances` for an already-lowered line-number stream.
+
+    The entry point for trace-IR consumers (:mod:`repro.trace.ir`), whose
+    segments carry line numbers directly — identical output to running
+    :func:`reuse_distances` over the chunks the lines were lowered from.
+    """
+    return _line_reuse_distances(np.ascontiguousarray(lines, dtype=np.uint64))
 
 
 class _Fenwick:

@@ -10,6 +10,7 @@ the cachegrind-style attribution (:mod:`repro.perf.cachegrind`) groups by.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -82,8 +83,16 @@ class TraceChunk:
         return self.addr >> shift
 
 
-def concat_chunks(chunks: list[TraceChunk]) -> TraceChunk:
-    """Concatenate chunks into one (mainly for tests and small traces)."""
+def concat_chunks(chunks: Iterable[TraceChunk]) -> TraceChunk:
+    """Concatenate chunks into one (mainly for tests and small traces).
+
+    Accepts any iterable — a generator is drained exactly once.  An
+    empty input returns a zero-length chunk with the canonical dtypes
+    (``uint64`` addresses, ``bool`` write flags, ``uint8`` tags), and
+    the output columns are always C-contiguous with those dtypes
+    regardless of what the inputs carried.
+    """
+    chunks = list(chunks)
     if not chunks:
         return TraceChunk(
             np.empty(0, dtype=np.uint64),

@@ -189,6 +189,74 @@ class TestObservabilityFlags:
         assert "trace file not found" in capsys.readouterr().err
 
 
+class TestTraceCommand:
+    """`sfc-repro trace`: materialize a trace spec to a columnar IR file."""
+
+    PARAMS = (
+        '{"n": 8, "scheme_a": "ho", "scheme_b": "ho", "scheme_c": "ho",'
+        ' "elem_bytes": 8}'
+    )
+
+    def test_materialize_to_output(self, capsys, tmp_path):
+        out = tmp_path / "m.ir"
+        assert main(["trace", "--kind", "matmul", "--params", self.PARAMS,
+                     "--output", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert out.exists()
+        assert str(out) in text
+        assert "accesses" in text and "segments" in text
+        assert "compression" in text
+        assert "checksums     OK" in text
+
+    def test_materialize_into_cache_twice(self, capsys, tmp_path):
+        args = ["trace", "--kind", "synthetic",
+                "--params", '{"variant": "sequential", "n_accesses": 512}',
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0  # second run is a cache hit
+        assert capsys.readouterr().out == first
+
+    def test_query_kind(self, capsys, tmp_path):
+        params = ('{"grid_side": 4, "tile_side": 4, "workload": "bbox",'
+                  ' "n_queries": 3, "seed": 0, "stream_line_bytes": 64}')
+        assert main(["trace", "--kind", "query", "--params", params,
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "query" in capsys.readouterr().out
+
+    def test_invalid_json_exits_1(self, capsys, tmp_path):
+        assert main(["trace", "--kind", "matmul", "--params", "{nope",
+                     "--cache-dir", str(tmp_path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_non_object_params_exits_1(self, capsys, tmp_path):
+        assert main(["trace", "--kind", "matmul", "--params", "[1]",
+                     "--cache-dir", str(tmp_path)]) == 1
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_missing_parameter_exits_1(self, capsys, tmp_path):
+        assert main(["trace", "--kind", "matmul", "--params", '{"n": 8}',
+                     "--cache-dir", str(tmp_path)]) == 1
+        assert "missing parameter" in capsys.readouterr().err
+
+    def test_unexpected_parameter_exits_1(self, capsys, tmp_path):
+        assert main(["trace", "--kind", "synthetic",
+                     "--params", '{"variant": "sequential", "bogus": 1}',
+                     "--cache-dir", str(tmp_path)]) == 1
+        assert "sfc-repro: error:" in capsys.readouterr().err
+
+    def test_unknown_kind_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--kind", "bogus",
+                                       "--params", "{}"])
+
+    def test_studies_accept_trace_cache(self, capsys, tmp_path):
+        assert main(["mrc", "--n", "16",
+                     "--trace-cache", str(tmp_path)]) == 0
+        assert "RM" in capsys.readouterr().out
+        assert any(tmp_path.iterdir())  # the study populated the cache
+
+
 class TestErrorHandling:
     """ReproError -> exit 1; anything else escaping -> exit 2."""
 

@@ -51,6 +51,19 @@ class TestConcat:
         c = concat_chunks([])
         assert len(c) == 0
 
+    def test_empty_has_canonical_dtypes(self):
+        c = concat_chunks([])
+        assert c.addr.dtype == np.uint64
+        assert c.is_write.dtype == bool
+        assert c.tag.dtype == np.uint8
+        assert c.addr.flags.c_contiguous
+        # The zero-length chunk must behave like any other chunk.
+        assert c.lines(64).shape == (0,)
+        assert len(concat_chunks([c, c])) == 0
+
+    def test_empty_generator(self):
+        assert len(concat_chunks(c for c in [])) == 0
+
     def test_roundtrip(self):
         a = TraceChunk.reads(np.array([0, 8]), tag=TAG_A)
         b = TraceChunk.writes(np.array([16]))
@@ -58,3 +71,44 @@ class TestConcat:
         assert len(c) == 3
         np.testing.assert_array_equal(c.addr, [0, 8, 16])
         np.testing.assert_array_equal(c.is_write, [False, False, True])
+
+    def test_generator_input_drained_once(self):
+        chunks = (
+            TraceChunk.reads(np.array([i * 8]), tag=TAG_A) for i in range(4)
+        )
+        c = concat_chunks(chunks)
+        assert len(c) == 4
+        np.testing.assert_array_equal(c.addr, [0, 8, 16, 24])
+
+    def test_mixed_input_dtypes_and_contiguity(self):
+        # Inputs with off-spec dtypes and non-contiguous columns (strided
+        # views) must concatenate to canonical, C-contiguous columns.
+        a = TraceChunk(
+            np.array([1, 2, 3], dtype=np.int32),
+            np.array([0, 1, 0], dtype=np.int8),
+            np.array([0, 1, 2], dtype=np.int64),
+        )
+        strided = TraceChunk.reads(np.arange(6, dtype=np.uint64) * 8, tag=TAG_B)
+        view = TraceChunk(
+            strided.addr[::2], strided.is_write[::2], strided.tag[::2]
+        )
+        c = concat_chunks([a, view])
+        assert c.addr.dtype == np.uint64
+        assert c.is_write.dtype == bool
+        assert c.tag.dtype == np.uint8
+        assert c.addr.flags.c_contiguous
+        assert c.is_write.flags.c_contiguous
+        assert c.tag.flags.c_contiguous
+        np.testing.assert_array_equal(c.addr, [1, 2, 3, 0, 16, 32])
+        np.testing.assert_array_equal(
+            c.is_write, [False, True, False, False, False, False]
+        )
+        np.testing.assert_array_equal(c.tag, [0, 1, 2, TAG_B, TAG_B, TAG_B])
+
+    def test_mixed_with_zero_length_chunks(self):
+        empty = concat_chunks([])
+        a = TraceChunk.writes(np.array([64, 128]))
+        c = concat_chunks([empty, a, empty])
+        assert len(c) == 2
+        np.testing.assert_array_equal(c.addr, [64, 128])
+        assert c.addr.dtype == np.uint64 and c.addr.flags.c_contiguous
