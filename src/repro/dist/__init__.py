@@ -1,0 +1,46 @@
+"""Distributed sweep scheduler: lease-based coordination on a shared mount.
+
+The single-host sweep engine (:mod:`repro.experiments.sweep`) scales to
+one machine's cores; this package composes the existing robustness
+substrate — the fsynced SHA-256 :class:`~repro.robust.CheckpointJournal`,
+the content-addressed :class:`~repro.experiments.sweep.SweepCache`,
+heartbeat liveness, and deterministic :class:`~repro.robust.FaultPlan`
+chaos — into a multi-node work queue that needs nothing but a directory
+every participant can see:
+
+* :class:`~repro.dist.board.TaskBoard` — the on-disk protocol: immutable
+  shard specs, ``O_EXCL`` lease claims, atomic-rename heartbeats, and
+  hard-link first-commit-wins result publication.
+* :class:`~repro.dist.coordinator.DistCoordinator` — shards the grid,
+  reaps stale leases (TTL against worker heartbeats), offers speculative
+  straggler tickets, folds commits into the checkpoint journal exactly
+  once, and assembles the final :class:`~repro.experiments.ResultSet`
+  bit-identically to the serial ``run_grid``.
+* :class:`~repro.dist.worker.DistWorker` — claims, computes through the
+  same :class:`~repro.experiments.runner.ExperimentRunner` arithmetic,
+  and commits; every point also lands in the shared sweep cache so
+  reissued work replays from disk.
+
+Kill any participant — ``kill -9`` a worker, wedge it mid-shard,
+partition it from the mount, or crash the coordinator itself — and the
+sweep converges to the same bytes: leases are liveness only, correctness
+rests on deterministic evaluation plus first-commit-wins with duplicate
+verification.  ``sfc-repro sweep-coordinator`` / ``sfc-repro
+sweep-worker`` expose the two roles, and
+``SweepEngine(transport="dist")`` runs the whole arrangement on one host
+for tests and benchmarks.
+"""
+
+from repro.dist.board import BOARD_VERSION, TaskBoard, commit_sha
+from repro.dist.coordinator import DistCoordinator
+from repro.dist.worker import DistWorker, WorkerStats, worker_main
+
+__all__ = [
+    "BOARD_VERSION",
+    "TaskBoard",
+    "commit_sha",
+    "DistCoordinator",
+    "DistWorker",
+    "WorkerStats",
+    "worker_main",
+]

@@ -1,0 +1,395 @@
+"""The on-disk task board: shards, leases, heartbeats, commits.
+
+A :class:`TaskBoard` is a directory on a mount every participant can
+see::
+
+    <root>/
+      board.json          manifest: study, fingerprint, shard count, ...
+      shards/0007.json    immutable shard specs (config dicts)
+      leases/0007.lease   claim tokens (O_EXCL create; reaper-deleted)
+      leases/0007.spec    speculative second lease for a straggler shard
+      spec/0007           coordinator-issued speculative tickets
+      heartbeats/<owner>  per-worker liveness beacons (atomic rename)
+      results/0007.json   committed shard payloads (hard-link publish)
+      cache/              shared content-addressed SweepCache
+      journal.jsonl       the coordinator's CheckpointJournal
+
+Correctness does **not** rest on the leases.  Shard evaluation is
+deterministic, commits are first-wins (:func:`~repro.robust.fsutil.
+durable_link` fails on an existing target), and a losing duplicate is
+verified byte-identical before being discarded — so a stolen lease, a
+stomped renewal or a partitioned worker that finishes late can never
+change the result, only waste work.  Leases and heartbeats are purely a
+*liveness* mechanism: they keep two healthy workers off the same shard
+and tell the coordinator's reaper when a shard needs reissuing.  That is
+why lease files are plain unsynced writes while commits and the journal
+go through the durable publish helpers.
+
+All timestamps compare a shared wall clock (``time.time``) because file
+servers host many writers; the ``clock=`` injection exists for the chaos
+suite, which drives TTL expiry deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.errors import DistError
+from repro.robust.fsutil import durable_link, durable_replace, fsync_dir
+from repro.robust.journal import payload_sha
+
+__all__ = ["BOARD_VERSION", "TaskBoard", "commit_sha"]
+
+#: Bump when the board layout or record shapes change; a version-skewed
+#: board refuses to open rather than being misread.
+BOARD_VERSION = 1
+
+
+def commit_sha(shard_id: int, results: list) -> str:
+    """Digest of a shard commit's *deterministic* content.
+
+    Owner, timing and lease lineage are deliberately excluded: two
+    workers committing the same shard must produce the same digest, or
+    evaluation was non-deterministic (a :class:`DistError`).
+    """
+    return payload_sha("dist-commit", {"shard": shard_id, "results": results})
+
+
+class TaskBoard:
+    """Filesystem view of one distributed sweep; every method is safe to
+    call from any number of coordinator/worker processes."""
+
+    def __init__(self, root: str | Path, clock=time.time):
+        self.root = Path(root)
+        self.clock = clock
+        self.shards_dir = self.root / "shards"
+        self.leases_dir = self.root / "leases"
+        self.spec_dir = self.root / "spec"
+        self.heartbeats_dir = self.root / "heartbeats"
+        self.results_dir = self.root / "results"
+        self.manifest: dict | None = None
+
+    # -- creation / opening ----------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, root: str | Path, manifest: dict, shards: list[list[dict]],
+        clock=time.time,
+    ) -> "TaskBoard":
+        """Lay a new board down: shard specs first, manifest last.
+
+        The manifest is the commit point — a crash mid-create leaves a
+        directory without ``board.json``, which no worker will touch.
+        """
+        board = cls(root, clock=clock)
+        if board.manifest_path.exists():
+            raise DistError(f"board already exists at {board.root}")
+        for d in (
+            board.shards_dir, board.leases_dir, board.spec_dir,
+            board.heartbeats_dir, board.results_dir,
+        ):
+            d.mkdir(parents=True, exist_ok=True)
+        for i, configs in enumerate(shards):
+            spec = {"shard": i, "configs": configs}
+            spec["sha"] = payload_sha("dist-shard", spec)
+            board._shard_path(i).write_text(json.dumps(spec, sort_keys=True))
+        manifest = dict(manifest)
+        manifest["version"] = BOARD_VERSION
+        manifest["n_shards"] = len(shards)
+        manifest["sha"] = payload_sha("dist-board", manifest)
+        tmp = board.root / f".board.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(manifest, sort_keys=True))
+        durable_replace(tmp, board.manifest_path)
+        fsync_dir(board.root)
+        board.manifest = manifest
+        return board
+
+    @classmethod
+    def open(cls, root: str | Path, clock=time.time) -> "TaskBoard":
+        board = cls(root, clock=clock)
+        try:
+            manifest = json.loads(board.manifest_path.read_text())
+        except FileNotFoundError:
+            raise DistError(f"no task board at {board.root}") from None
+        except (OSError, ValueError) as exc:
+            raise DistError(f"unreadable board manifest at {board.root}: {exc}")
+        sha = manifest.pop("sha", None)
+        if sha != payload_sha("dist-board", manifest):
+            raise DistError(f"board manifest at {board.root} fails its digest")
+        if manifest.get("version") != BOARD_VERSION:
+            raise DistError(
+                f"board version {manifest.get('version')!r} at {board.root}; "
+                f"this build speaks version {BOARD_VERSION}"
+            )
+        manifest["sha"] = sha
+        board.manifest = manifest
+        return board
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "board.json"
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / "journal.jsonl"
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.root / "cache"
+
+    @property
+    def n_shards(self) -> int:
+        if self.manifest is None:
+            raise DistError("board not opened")
+        return self.manifest["n_shards"]
+
+    def shard_ids(self) -> range:
+        return range(self.n_shards)
+
+    # -- shard specs -----------------------------------------------------------
+
+    def _shard_path(self, shard_id: int) -> Path:
+        return self.shards_dir / f"{shard_id:04d}.json"
+
+    def load_shard(self, shard_id: int) -> list[dict]:
+        """The shard's config dicts, digest-verified."""
+        try:
+            spec = json.loads(self._shard_path(shard_id).read_text())
+        except (OSError, ValueError) as exc:
+            raise DistError(f"unreadable shard spec {shard_id}: {exc}")
+        sha = spec.pop("sha", None)
+        if sha != payload_sha("dist-shard", spec) or spec.get("shard") != shard_id:
+            raise DistError(f"shard spec {shard_id} fails its digest")
+        return spec["configs"]
+
+    # -- leases ----------------------------------------------------------------
+
+    def _lease_path(self, shard_id: int, speculative: bool = False) -> Path:
+        suffix = "spec" if speculative else "lease"
+        return self.leases_dir / f"{shard_id:04d}.{suffix}"
+
+    def claim(
+        self, shard_id: int, owner: str, speculative: bool = False
+    ) -> bool:
+        """Atomically claim a shard lease; ``False`` when already held."""
+        payload = {
+            "shard": shard_id,
+            "owner": owner,
+            "claimed_at": self.clock(),
+            "speculative": speculative,
+        }
+        path = self._lease_path(shard_id, speculative)
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, json.dumps(payload, sort_keys=True).encode())
+        finally:
+            os.close(fd)
+        return True
+
+    def lease_info(self, shard_id: int, speculative: bool = False) -> dict | None:
+        """The lease payload, or ``None`` when unclaimed/unreadable.
+
+        An unreadable lease (a writer torn mid-claim) reads as ``None``
+        with ``claimed_at`` treated as ancient by the reaper — it will be
+        expired rather than trusted.
+        """
+        try:
+            return json.loads(self._lease_path(shard_id, speculative).read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            return {"shard": shard_id, "owner": None, "claimed_at": 0.0,
+                    "speculative": speculative}
+
+    def release(self, shard_id: int, speculative: bool = False) -> None:
+        try:
+            self._lease_path(shard_id, speculative).unlink()
+        except OSError:
+            pass
+
+    # -- heartbeats ------------------------------------------------------------
+
+    def heartbeat(self, owner: str) -> None:
+        """Refresh the worker's liveness beacon (atomic rename)."""
+        path = self.heartbeats_dir / owner
+        tmp = path.with_name(f".{owner}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps({"owner": owner, "beat": self.clock()}))
+        os.replace(tmp, path)
+
+    def heartbeat_age(self, owner: str) -> float | None:
+        """Seconds since the worker last beat, or ``None`` if never."""
+        try:
+            beat = json.loads((self.heartbeats_dir / owner).read_text())["beat"]
+        except (OSError, ValueError, KeyError):
+            return None
+        return self.clock() - float(beat)
+
+    def lease_stale(self, shard_id: int, ttl_s: float,
+                    speculative: bool = False) -> bool:
+        """A lease is stale when its owner's heartbeat exceeds the TTL.
+
+        A missing heartbeat falls back to the lease's own age — a worker
+        that claimed and died before its first beat must still expire.
+        """
+        info = self.lease_info(shard_id, speculative)
+        if info is None:
+            return False
+        age = self.heartbeat_age(info["owner"]) if info["owner"] else None
+        if age is None:
+            age = self.clock() - float(info.get("claimed_at", 0.0))
+        return age > ttl_s
+
+    # -- speculation -----------------------------------------------------------
+
+    def offer_speculative(self, shard_id: int) -> bool:
+        """Coordinator: publish a straggler ticket (idempotent)."""
+        try:
+            fd = os.open(
+                self.spec_dir / f"{shard_id:04d}",
+                os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644,
+            )
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def speculative_ids(self) -> list[int]:
+        try:
+            names = sorted(p.name for p in self.spec_dir.iterdir()
+                           if not p.name.startswith("."))
+        except OSError:
+            return []
+        out = []
+        for name in names:
+            try:
+                out.append(int(name))
+            except ValueError:
+                continue
+        return out
+
+    def retract_speculative(self, shard_id: int) -> None:
+        try:
+            (self.spec_dir / f"{shard_id:04d}").unlink()
+        except OSError:
+            pass
+
+    # -- commits ---------------------------------------------------------------
+
+    def _result_path(self, shard_id: int) -> Path:
+        return self.results_dir / f"{shard_id:04d}.json"
+
+    def commit(self, shard_id: int, results: list[dict], owner: str,
+               _stage_hook=None) -> str:
+        """Publish a shard's results exactly once.
+
+        Returns ``"committed"`` when this call's hard link won,
+        ``"duplicate"`` when an identical commit already existed (the
+        speculative-twin case — this copy is discarded).  A *different*
+        existing commit raises :class:`DistError`: deterministic shards
+        cannot disagree, so that is always a bug, never resolved quietly.
+        A torn or digest-invalid existing file is evicted and the link
+        retried — torn commits are no commit at all.
+
+        ``_stage_hook`` runs between staging the temp file and the
+        publish link; the chaos suite uses it to widen (``delayed_rename``)
+        or tear (``torn_commit``) the window.
+        """
+        payload = {
+            "shard": shard_id,
+            "owner": owner,
+            "results": results,
+            "sha": commit_sha(shard_id, results),
+        }
+        path = self._result_path(shard_id)
+        # Owner in the staging name: pid alone collides when two owners
+        # share a process (in-process tests, threads).
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{owner}.tmp")
+        blob = json.dumps(payload, sort_keys=True).encode()
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, blob)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        if _stage_hook is not None:
+            _stage_hook(tmp, path)
+        try:
+            while True:
+                try:
+                    durable_link(tmp, path)
+                    return "committed"
+                except FileExistsError:
+                    existing = self.read_result(shard_id)
+                    if existing is None:
+                        # Torn/invalid previous commit: evict and retry.
+                        try:
+                            path.unlink()
+                        except OSError:
+                            pass
+                        continue
+                    if existing["sha"] == payload["sha"]:
+                        return "duplicate"
+                    raise DistError(
+                        f"shard {shard_id}: commit by {owner!r} disagrees "
+                        f"with the one from {existing.get('owner')!r} — "
+                        f"evaluation was not deterministic"
+                    )
+        finally:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def read_result(self, shard_id: int) -> dict | None:
+        """A committed shard payload, or ``None`` if absent/torn/invalid."""
+        try:
+            payload = json.loads(self._result_path(shard_id).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("sha") != commit_sha(
+            payload.get("shard", -1), payload.get("results")
+        ) or payload.get("shard") != shard_id:
+            return None
+        return payload
+
+    def evict_result(self, shard_id: int) -> None:
+        """Remove a torn/invalid commit so the shard can be redone."""
+        try:
+            self._result_path(shard_id).unlink()
+        except OSError:
+            pass
+
+    def committed_ids(self) -> list[int]:
+        """Shards with a *file* in results/ (validity checked on read)."""
+        try:
+            names = sorted(
+                p.name for p in self.results_dir.iterdir()
+                if p.suffix == ".json" and not p.name.startswith(".")
+            )
+        except OSError:
+            return []
+        out = []
+        for name in names:
+            try:
+                out.append(int(name.split(".")[0]))
+            except ValueError:
+                continue
+        return out
+
+    def orphaned_leases(self) -> list[Path]:
+        """Every lease file still on the board (diagnostic/final check)."""
+        try:
+            return sorted(
+                p for p in self.leases_dir.iterdir()
+                if not p.name.startswith(".")
+            )
+        except OSError:
+            return []

@@ -46,6 +46,7 @@ from pathlib import Path
 
 from repro import obs
 from repro.errors import ExperimentError, WorkerCrashError, WorkerHangError
+from repro.robust.fsutil import durable_replace
 from repro.experiments.configs import SampleConfig, full_grid
 from repro.experiments.results import ResultSet, SampleResult
 from repro.experiments.runner import ExperimentRunner
@@ -198,7 +199,7 @@ class SweepCache:
         path = self._path(result.config)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         tmp.write_text(json.dumps(payload, sort_keys=True))
-        os.replace(tmp, path)
+        durable_replace(tmp, path)
 
 
 # -- telemetry -----------------------------------------------------------------
@@ -404,6 +405,18 @@ class SweepEngine:
         Extra attempts per shard after a failure or timeout.
     backoff_s:
         Base of the exponential backoff between retry generations.
+    backoff_cap_s:
+        Ceiling of the exponential backoff — the deadline-aware bound
+        that keeps a deep retry chain from sleeping unboundedly.  Backoff
+        sleeps run in short slices, so Ctrl-C lands promptly and the
+        worker pool is torn down cleanly instead of lingering through a
+        multi-second ``time.sleep``.
+    transport:
+        ``"local"`` (default) runs shards on an in-process pool;
+        ``"dist"`` drives the lease-based coordinator/worker protocol of
+        :mod:`repro.dist` on ``dist_dir`` — the same worker count, but
+        spawned as independent processes joined only through the task
+        board, surviving crash/hang/churn (see the ``dist_*`` knobs).
     fault_plan:
         Deterministic fault injection (:class:`~repro.robust.FaultPlan`)
         addressed by shard index and point-within-shard.  Faults model
@@ -431,10 +444,18 @@ class SweepEngine:
         timeout_s: float | None = None,
         retries: int = 2,
         backoff_s: float = 0.25,
+        backoff_cap_s: float = 5.0,
         log_path: str | Path | None = None,
         progress: bool = False,
         fault_plan: FaultPlan | None = None,
         on_failure: str = "raise",
+        transport: str = "local",
+        dist_dir: str | Path | None = None,
+        dist_ttl_s: float = 2.0,
+        dist_speculate_after_s: float | None = None,
+        dist_poll_s: float = 0.02,
+        dist_deadline_s: float | None = None,
+        dist_respawn_budget: int | None = None,
     ):
         if measure not in MEASURE_MODES:
             raise ExperimentError(
@@ -442,6 +463,14 @@ class SweepEngine:
             )
         if retries < 0:
             raise ExperimentError("retries must be >= 0")
+        if backoff_cap_s < 0:
+            raise ExperimentError("backoff_cap_s must be >= 0")
+        if transport not in ("local", "dist"):
+            raise ExperimentError(
+                f"transport must be 'local' or 'dist', got {transport!r}"
+            )
+        if transport == "dist" and dist_dir is None:
+            raise ExperimentError("transport='dist' requires dist_dir")
         self.model = model or PerformanceModel()
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:
@@ -452,9 +481,18 @@ class SweepEngine:
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
         self.progress = progress
         self.fault_plan = fault_plan
         self.on_failure = validate_on_failure(on_failure)
+        self.transport = transport
+        self.dist_dir = Path(dist_dir) if dist_dir is not None else None
+        self.dist_ttl_s = dist_ttl_s
+        self.dist_speculate_after_s = dist_speculate_after_s
+        self.dist_poll_s = dist_poll_s
+        self.dist_deadline_s = dist_deadline_s
+        self.dist_respawn_budget = dist_respawn_budget
+        self._sleep = time.sleep  # injectable for the interrupt harness
         self._degraded_runner: ExperimentRunner | None = None
         self.fingerprint = calibration_fingerprint(self.model)
         self.cache = (
@@ -513,7 +551,7 @@ class SweepEngine:
             else:
                 misses.append(cfg)
 
-        shards = self._partition(misses)
+        shards = [] if self.transport == "dist" else self._partition(misses)
         stats.shards = len(shards)
         telemetry.event(
             "sweep_start",
@@ -523,16 +561,27 @@ class SweepEngine:
             shards=len(shards),
             workers=self.workers,
             measure=self.measure,
+            transport=self.transport,
             fingerprint=self.fingerprint,
         )
         telemetry.progress_line(len(by_key), stats.points, stats)
 
-        if shards:
-            jobs = [_ShardJob(i, shard) for i, shard in enumerate(shards)]
-            if self.workers == 1:
-                self._run_serial(jobs, telemetry, stats, by_key)
-            else:
-                self._run_pool(jobs, telemetry, stats, by_key)
+        try:
+            if self.transport == "dist":
+                if misses:
+                    self._run_dist(misses, telemetry, stats, by_key)
+            elif shards:
+                jobs = [_ShardJob(i, shard) for i, shard in enumerate(shards)]
+                if self.workers == 1:
+                    self._run_serial(jobs, telemetry, stats, by_key)
+                else:
+                    self._run_pool(jobs, telemetry, stats, by_key)
+        except KeyboardInterrupt:
+            # The pool (or dist fleet) was already torn down on the way
+            # out; leave a marker in the log instead of a torn stream.
+            telemetry.event("sweep_interrupted", done=len(by_key))
+            telemetry.close()
+            raise
 
         stats.seconds = time.monotonic() - t0
         telemetry.event(
@@ -671,14 +720,34 @@ class SweepEngine:
             if kind == "crash":
                 raise WorkerCrashError(message) from cause
             raise ExperimentError(message) from cause
-        backoff = self.backoff_s * (2 ** (job.attempts - 1))
+        backoff = min(
+            self.backoff_s * (2 ** (job.attempts - 1)), self.backoff_cap_s
+        )
         telemetry.event(
             "shard_retry", shard=job.index, attempt=job.attempts, kind=kind,
             backoff_s=round(backoff, 3), detail=str(exc),
         )
         if backoff > 0:
-            time.sleep(backoff)
+            self._backoff_sleep(backoff)
         return False
+
+    def _backoff_sleep(self, seconds: float) -> None:
+        """Sleep ``seconds`` against a deadline, in interruptible slices.
+
+        One monolithic ``time.sleep`` would hold a Ctrl-C hostage for the
+        whole backoff on platforms where the signal does not interrupt
+        the sleep, and oversleeping under a monkeypatched slow clock
+        would stretch every retry generation.  Slicing bounds both: each
+        slice re-checks the deadline, and a ``KeyboardInterrupt`` lands
+        between slices — propagating out through :meth:`_run_pool`'s
+        ``finally``, which terminates the abandoned pool.
+        """
+        deadline = time.monotonic() + seconds
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            self._sleep(min(remaining, 0.05))
 
     def _run_serial(self, jobs, telemetry, stats, by_key) -> None:
         runner = ExperimentRunner(self.model)
@@ -802,6 +871,113 @@ class SweepEngine:
                 pending = failed
         finally:
             self._abandon_pool(executor)
+
+    # -- distributed transport -------------------------------------------------
+
+    def _run_dist(self, misses, telemetry, stats, by_key) -> None:
+        """Run the cache misses through the :mod:`repro.dist` protocol.
+
+        The coordinator runs in-process; ``self.workers`` worker
+        processes are spawned locally and joined only through the task
+        board on ``dist_dir`` — exactly what remote workers would do
+        from another host sharing the mount.  An existing board at
+        ``dist_dir`` is resumed (and verified against this grid and
+        calibration); dead workers are respawned with fresh ids while
+        the respawn budget lasts.
+        """
+        import multiprocessing as mp
+
+        from repro.dist import DistCoordinator
+        from repro.dist.worker import worker_main
+
+        resume = (self.dist_dir / "board.json").exists()
+        coordinator = DistCoordinator(
+            self.dist_dir,
+            configs=misses,
+            model=self.model,
+            shard_size=self.shard_size,
+            measure=self.measure,
+            sample_hz=self.sample_hz,
+            ttl_s=self.dist_ttl_s,
+            speculate_after_s=self.dist_speculate_after_s,
+            poll_s=self.dist_poll_s,
+            resume=resume,
+        )
+        stats.shards = coordinator.stats["shards"]
+        telemetry.event(
+            "dist_start",
+            board=str(self.dist_dir),
+            shards=coordinator.stats["shards"],
+            resumed_shards=coordinator.stats["resumed"],
+            workers=self.workers,
+        )
+        ctx = mp.get_context("spawn")
+        budget = (
+            self.dist_respawn_budget
+            if self.dist_respawn_budget is not None
+            else 2 * self.workers
+        )
+        procs: list = []
+        next_id = 0
+        obs_ctx = obs.worker_context()
+
+        def spawn_one():
+            nonlocal next_id
+            p = ctx.Process(
+                target=worker_main,
+                args=(
+                    str(self.dist_dir), next_id, self.model, self.fault_plan,
+                    self.dist_ttl_s, self.dist_poll_s, self.dist_deadline_s,
+                    obs_ctx,
+                ),
+                daemon=True,
+            )
+            next_id += 1
+            p.start()
+            procs.append(p)
+
+        def tick():
+            nonlocal budget
+            alive = [p for p in procs if p.is_alive()]
+            dead = len(procs) - len(alive)
+            if dead and budget > 0:
+                refill = min(self.workers - len(alive), budget)
+                for _ in range(max(0, refill)):
+                    spawn_one()
+                    budget -= 1
+            elif not alive and budget <= 0:
+                raise WorkerCrashError(
+                    "every dist worker died and the respawn budget is "
+                    "exhausted; the board cannot complete"
+                )
+
+        try:
+            for _ in range(self.workers):
+                spawn_one()
+            results = coordinator.run(
+                deadline_s=self.dist_deadline_s, tick=tick
+            )
+        finally:
+            # Completion (or failure) reaps the fleet either way: healthy
+            # workers notice the finished board and exit; hung ones are
+            # terminated so nothing outlives the sweep.
+            for p in procs:
+                p.join(timeout=max(1.0, 20 * self.dist_poll_s))
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            for p in procs:
+                p.join(timeout=5.0)
+
+        for r in results:
+            by_key[r.config.key] = r
+            if self.cache:
+                self.cache.put(r)
+        for key, value in coordinator.stats.items():
+            obs.gauge(f"dist.{key}", value)
+        telemetry.event("dist_end", **coordinator.stats)
+        telemetry.progress_line(len(by_key), stats.points, stats)
+        self.dist_stats = coordinator.stats
 
 
 def sweep_grid(

@@ -24,6 +24,8 @@ import warnings
 
 from repro.errors import ExperimentError
 from repro.robust.faults import (
+    ALL_FAULT_KINDS,
+    DIST_FAULT_KINDS,
     FAULT_KINDS,
     FaultPlan,
     FaultSpec,
@@ -31,6 +33,7 @@ from repro.robust.faults import (
     corrupt_blob,
     execute_fault,
 )
+from repro.robust.fsutil import durable_link, durable_replace, fsync_dir
 from repro.robust.journal import (
     JOURNAL_VERSION,
     CheckpointJournal,
@@ -41,8 +44,13 @@ from repro.robust.journal import (
 from repro.robust.watchdog import DEFAULT_HEARTBEAT_S, Watchdog
 
 __all__ = [
+    "ALL_FAULT_KINDS",
+    "DIST_FAULT_KINDS",
     "FAULT_KINDS",
     "FaultPlan",
+    "durable_link",
+    "durable_replace",
+    "fsync_dir",
     "FaultSpec",
     "InjectedFault",
     "corrupt_blob",

@@ -31,6 +31,31 @@ Fault kinds (:data:`FAULT_KINDS`):
 ``crash``, ``hang``, ``transient`` and ``slow`` are *executed* by the
 worker via :func:`execute_fault`; ``corrupt`` is returned to the caller,
 which applies it to the outgoing payload.
+
+The distributed sweep protocol (:mod:`repro.dist`) adds protocol-level
+kinds (:data:`DIST_FAULT_KINDS`), fired at lease/commit boundaries by the
+dist worker rather than inside the compute loop:
+
+``lease_steal``
+    The worker's lease file vanishes under it mid-shard (as a reaper
+    steal would do); the worker keeps computing and its commit must
+    still be exactly-once (first commit wins).
+``stale_heartbeat``
+    The worker stops renewing its heartbeat while still computing — the
+    coordinator sees a dead worker and speculatively re-leases, and the
+    duplicate commits must be verified identical.
+``torn_commit``
+    The worker writes a torn (truncated, garbage) commit temp file and
+    hard-exits — the moral equivalent of a crash mid-``write``.  The
+    board must treat it as no commit at all.
+``delayed_rename``
+    The worker sleeps ``delay_s`` between staging its commit and
+    publishing it, widening the window in which a speculative twin can
+    land first.
+
+These kinds are inert in the single-host engines (``execute_fault``
+ignores them); only :mod:`repro.dist` consults them, via the ``kinds=``
+filter of :meth:`FaultPlan.fire`.
 """
 
 from __future__ import annotations
@@ -41,6 +66,8 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "FAULT_KINDS",
+    "DIST_FAULT_KINDS",
+    "ALL_FAULT_KINDS",
     "FaultSpec",
     "FaultPlan",
     "InjectedFault",
@@ -48,8 +75,20 @@ __all__ = [
     "corrupt_blob",
 ]
 
-#: Every fault kind a plan may schedule.
+#: Compute-loop fault kinds, understood by every parallel engine.
 FAULT_KINDS = ("crash", "hang", "transient", "slow", "corrupt")
+
+#: Protocol-level fault kinds, fired at lease/commit boundaries by the
+#: distributed sweep worker (:mod:`repro.dist`); inert elsewhere.
+DIST_FAULT_KINDS = (
+    "lease_steal",
+    "stale_heartbeat",
+    "torn_commit",
+    "delayed_rename",
+)
+
+#: Everything a :class:`FaultSpec` may name.
+ALL_FAULT_KINDS = FAULT_KINDS + DIST_FAULT_KINDS
 
 
 class InjectedFault(RuntimeError):
@@ -78,9 +117,9 @@ class FaultSpec:
     delay_s: float = 0.05
 
     def __post_init__(self):
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in ALL_FAULT_KINDS:
             raise ValueError(
-                f"unknown fault kind {self.kind!r}; have {FAULT_KINDS}"
+                f"unknown fault kind {self.kind!r}; have {ALL_FAULT_KINDS}"
             )
         if self.worker < 0 or self.step < 0:
             raise ValueError("worker and step must be >= 0")
@@ -143,14 +182,25 @@ class FaultPlan:
         """Every fault scheduled against one worker, in plan order."""
         return tuple(s for s in self.specs if s.worker == worker)
 
-    def fire(self, worker: int, step: int, attempt: int = 0) -> FaultSpec | None:
+    def fire(
+        self,
+        worker: int,
+        step: int,
+        attempt: int = 0,
+        kinds: tuple[str, ...] | None = None,
+    ) -> FaultSpec | None:
         """The fault (if any) scheduled at this worker/step/attempt.
 
         ``attempt`` counts prior executions of the same step (retry
         generations); a spec stops firing once ``attempt`` reaches its
-        ``attempts`` budget.
+        ``attempts`` budget.  ``kinds`` restricts the match — the dist
+        worker uses disjoint step spaces for compute faults (points
+        evaluated) and protocol faults (shards claimed), so each query
+        names the family it is asking about.
         """
         for s in self.specs:
+            if kinds is not None and s.kind not in kinds:
+                continue
             if s.worker == worker and s.step == step and attempt < s.attempts:
                 return s
         return None

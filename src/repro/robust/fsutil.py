@@ -1,0 +1,64 @@
+"""Durable filesystem primitives shared by the crash-safe subsystems.
+
+POSIX durability has two halves: ``fsync`` on the *file* makes its bytes
+durable, but the file's very existence (its directory entry) lives in the
+parent directory, which needs its own ``fsync``.  A journal that fsyncs
+every append but never the directory can lose the whole file to a crash
+right after creation; an atomic ``os.replace`` publish can likewise
+evaporate.  These helpers close that gap:
+
+* :func:`fsync_dir` — fsync a directory's own fd (directory-entry
+  durability).
+* :func:`durable_replace` — ``os.replace`` followed by a parent-directory
+  fsync: the atomic-publish idiom, made crash-durable.
+* :func:`durable_link` — ``os.link`` with the same guarantee, raising
+  :class:`FileExistsError` when the target already exists — the
+  first-commit-wins primitive of the distributed sweep protocol
+  (:mod:`repro.dist`).
+
+Directory fsync is best-effort: some filesystems refuse to open or sync
+directories (``EACCES``/``EINVAL``); those errors are swallowed because
+the rename/link itself already succeeded and most filesystems order the
+metadata anyway.  A failed *open* of the parent is likewise tolerated.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["fsync_dir", "durable_replace", "durable_link"]
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Fsync a directory so the entries it holds survive a crash."""
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(path, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def durable_replace(src: str | Path, dst: str | Path) -> None:
+    """Atomically publish ``src`` at ``dst`` and fsync the parent dir."""
+    os.replace(src, dst)
+    fsync_dir(Path(dst).parent)
+
+
+def durable_link(src: str | Path, dst: str | Path) -> None:
+    """Hard-link ``src`` to ``dst`` durably; ``dst`` must not exist.
+
+    Unlike :func:`os.replace`, ``os.link`` *fails* with
+    :class:`FileExistsError` when the target is already present — exactly
+    the semantics a first-commit-wins protocol needs.  The caller keeps
+    ownership of ``src`` (unlink it after a successful or duplicate
+    publish).
+    """
+    os.link(src, dst)
+    fsync_dir(Path(dst).parent)

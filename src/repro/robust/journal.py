@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import CheckpointError
+from repro.robust.fsutil import fsync_dir
 
 __all__ = [
     "JOURNAL_VERSION",
@@ -98,6 +99,7 @@ class CheckpointJournal:
         }
         line = json.dumps(record, sort_keys=True) + "\n"
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        existed = self.path.exists()
         fd = os.open(
             self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
@@ -106,6 +108,12 @@ class CheckpointJournal:
             os.fsync(fd)
         finally:
             os.close(fd)
+        if not existed:
+            # The append made the *bytes* durable, but the file's
+            # directory entry is metadata of the parent: without this a
+            # crash right after the first append can lose the whole
+            # journal.
+            fsync_dir(self.path.parent)
         # Lazy import: repro.obs.core imports payload_sha from this
         # module, so a top-level obs import here would be circular.
         from repro.obs import count

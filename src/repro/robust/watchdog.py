@@ -30,24 +30,30 @@ DEFAULT_HEARTBEAT_S = 1.0
 
 
 class Watchdog:
-    """Deadline tracker; ``hang_timeout_s=None`` disables it entirely."""
+    """Deadline tracker; ``hang_timeout_s=None`` disables it entirely.
 
-    def __init__(self, hang_timeout_s: float | None):
+    ``clock`` is any zero-argument monotonic-seconds callable (default
+    :func:`time.monotonic`).  Tests inject a fake clock so time-bound
+    assertions are exact instead of wall-clock races on loaded CI.
+    """
+
+    def __init__(self, hang_timeout_s: float | None, clock=time.monotonic):
         if hang_timeout_s is not None and hang_timeout_s <= 0:
             raise SimulationError(
                 f"hang_timeout_s must be positive, got {hang_timeout_s}"
             )
         self.hang_timeout_s = hang_timeout_s
-        self._last_beat = time.monotonic()
+        self._clock = clock
+        self._last_beat = clock()
 
     def beat(self) -> None:
         """Record evidence of worker progress; resets the deadline."""
-        self._last_beat = time.monotonic()
+        self._last_beat = self._clock()
 
     @property
     def silence_s(self) -> float:
         """Seconds since the last recorded beat."""
-        return time.monotonic() - self._last_beat
+        return self._clock() - self._last_beat
 
     def expired(self) -> bool:
         return (

@@ -59,6 +59,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import TraceError
+from repro.robust.fsutil import durable_replace
 from repro.trace.events import TraceChunk
 
 __all__ = [
@@ -335,7 +336,7 @@ class TraceIRWriter:
         os.fsync(self._fh.fileno())
         self._fh.close()
         self._fh = None
-        os.replace(self._tmp, self.path)
+        durable_replace(self._tmp, self.path)
         return self.path
 
     def abort(self) -> None:
@@ -792,6 +793,26 @@ class TraceIRCache:
         return write_trace_ir(
             path, build_trace_chunks(kind, params), line_bytes, meta=meta
         )
+
+    def ensure(self, kind: str, params: dict, line_bytes: int) -> tuple[Path, bool]:
+        """Like :meth:`get_or_build`, reporting whether a build happened.
+
+        The distributed sweep workers (:mod:`repro.dist`) warm a shared
+        trace cache with the shards' trace specs before claiming work;
+        ``built`` feeds their ``dist.trace_warm_*`` counters so a sweep's
+        telemetry shows how many segments were served from the mount
+        versus regenerated.
+        """
+        fp = trace_fingerprint(kind, params, line_bytes)
+        path = self.path_for(fp)
+        if path.exists():
+            try:
+                with TraceIRReader(path):
+                    pass
+                return path, False
+            except TraceError:
+                pass  # torn/corrupt entry: rebuild below
+        return self.get_or_build(kind, params, line_bytes), True
 
 
 def materialize_trace_ir(

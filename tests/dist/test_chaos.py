@@ -1,0 +1,213 @@
+"""Distributed sweep chaos: real processes, real kills, bit-identity.
+
+The acceptance bar for the protocol: a sweep with four workers where two
+are killed mid-shard, one hangs, and the coordinator itself is killed
+and restarted mid-run must still produce results bit-identical to the
+serial ``run_grid`` — with zero leaked processes and zero orphaned
+leases.  Faults are injected through the deterministic
+:class:`~repro.robust.FaultPlan`, so every run of this file replays the
+same failure schedule.
+"""
+
+import json
+import multiprocessing
+import time
+
+import pytest
+
+from repro.dist import DistCoordinator, TaskBoard
+from repro.dist.worker import worker_main
+from repro.errors import DistError
+from repro.experiments.configs import full_grid
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.sweep import SweepEngine
+from repro.robust import FaultPlan, FaultSpec
+
+
+def grid(n=24):
+    return full_grid()[:n]
+
+
+def blob(results):
+    return json.dumps([r.to_dict() for r in results], sort_keys=True)
+
+
+def spawn_worker(root, worker_id, fault_plan=None, ttl_s=0.5, poll_s=0.02,
+                 deadline_s=60.0):
+    ctx = multiprocessing.get_context("spawn")
+    p = ctx.Process(
+        target=worker_main,
+        args=(str(root), worker_id, None, fault_plan, ttl_s, poll_s,
+              deadline_s, None),
+        daemon=True,
+    )
+    p.start()
+    return p
+
+
+def reap(procs, grace_s=3.0):
+    """Join every worker; terminate stragglers.  Returns the leak count."""
+    deadline = time.monotonic() + grace_s
+    for p in procs:
+        p.join(timeout=max(0.1, deadline - time.monotonic()))
+    leaked = [p for p in procs if p.is_alive()]
+    for p in leaked:
+        p.terminate()
+    for p in leaked:
+        p.join(timeout=5.0)
+    return len([p for p in procs if p.is_alive()])
+
+
+class TestChurnIdentity:
+    def test_kill_hang_and_coordinator_restart(self, tmp_path):
+        """The headline proof, end to end on the raw protocol.
+
+        Four workers: w0 and w1 are hard-killed mid-shard (``os._exit``
+        at their 4th and 6th point), w2 wedges forever at its 5th point,
+        w3 is healthy.  The coordinator is abandoned mid-run after its
+        first collections and a fresh one resumes from the journal.
+        """
+        configs = grid(24)
+        root = tmp_path / "board"
+        plan = FaultPlan(specs=(
+            FaultSpec("crash", worker=0, step=3),
+            FaultSpec("crash", worker=1, step=5),
+            FaultSpec("hang", worker=2, step=4),
+        ))
+        first = DistCoordinator(
+            root, configs=configs, shard_size=2, ttl_s=0.5,
+            speculate_after_s=1.0, poll_s=0.02,
+        )
+        assert first.stats["shards"] == 12
+        procs = [spawn_worker(root, i, plan) for i in range(4)]
+        try:
+            # Drive the first coordinator only until it has collected
+            # something, then "kill" it: nothing survives but the mount.
+            deadline = time.monotonic() + 30.0
+            while first.stats["collected"] < 2:
+                assert time.monotonic() < deadline, "no commits arrived"
+                first.step()
+                time.sleep(0.02)
+            del first
+
+            second = DistCoordinator(root, configs=configs, resume=True)
+            assert second.stats["resumed"] >= 2
+            results = second.run(deadline_s=60.0)
+        finally:
+            leaked = reap(procs)
+
+        assert leaked == 0
+        assert blob(results) == blob(ExperimentRunner().run_grid(configs))
+        board = TaskBoard.open(root)
+        assert board.orphaned_leases() == []
+        # The dead workers' shards were reissued via TTL expiry.
+        assert second.stats["leases_expired"] >= 1
+
+    def test_worker_joining_late_helps(self, tmp_path):
+        configs = grid(8)
+        root = tmp_path / "board"
+        coordinator = DistCoordinator(
+            root, configs=configs, shard_size=1, ttl_s=1.0, poll_s=0.02,
+        )
+        procs = [spawn_worker(root, 0)]
+        try:
+            time.sleep(0.2)  # worker 0 is already mid-sweep
+            procs.append(spawn_worker(root, 1))
+            results = coordinator.run(deadline_s=60.0)
+        finally:
+            leaked = reap(procs)
+        assert leaked == 0
+        assert blob(results) == blob(ExperimentRunner().run_grid(configs))
+
+
+class TestEngineDistTransport:
+    def test_dist_transport_bit_identical_to_serial(self, tmp_path):
+        configs = grid(12)
+        engine = SweepEngine(
+            workers=2, shard_size=3, transport="dist",
+            dist_dir=tmp_path / "board", dist_ttl_s=1.0,
+            dist_deadline_s=60.0,
+        )
+        results = engine.run(configs)
+        assert blob(results) == blob(ExperimentRunner().run_grid(configs))
+        assert TaskBoard.open(tmp_path / "board").orphaned_leases() == []
+        assert engine.dist_stats["collected"] == engine.dist_stats["shards"]
+
+    def test_crashed_workers_respawned_within_budget(self, tmp_path):
+        configs = grid(12)
+        plan = FaultPlan(specs=(
+            FaultSpec("crash", worker=0, step=1),
+            FaultSpec("crash", worker=1, step=2),
+        ))
+        engine = SweepEngine(
+            workers=2, shard_size=2, transport="dist",
+            dist_dir=tmp_path / "board", dist_ttl_s=0.5,
+            dist_deadline_s=60.0, fault_plan=plan,
+        )
+        results = engine.run(configs)
+        assert blob(results) == blob(ExperimentRunner().run_grid(configs))
+        # Respawned workers carry fresh ids, so the same plan cannot
+        # re-kill them: the sweep converges.
+        deadline = time.monotonic() + 10.0
+        while multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
+
+    def test_protocol_fault_storm_still_identical(self, tmp_path):
+        # Every protocol fault kind at once, spread over the fleet:
+        # a stolen lease, a stopped heartbeat, a torn commit (worker
+        # dies mid-publish) and a stretched publish window.
+        configs = grid(12)
+        plan = FaultPlan(specs=(
+            FaultSpec("lease_steal", worker=0, step=0),
+            FaultSpec("stale_heartbeat", worker=1, step=0, delay_s=0.3),
+            FaultSpec("torn_commit", worker=0, step=2),
+            FaultSpec("delayed_rename", worker=1, step=2, delay_s=0.2),
+        ))
+        engine = SweepEngine(
+            workers=2, shard_size=2, transport="dist",
+            dist_dir=tmp_path / "board", dist_ttl_s=0.5,
+            dist_speculate_after_s=0.5, dist_deadline_s=60.0,
+            fault_plan=plan,
+        )
+        results = engine.run(configs)
+        assert blob(results) == blob(ExperimentRunner().run_grid(configs))
+        assert TaskBoard.open(tmp_path / "board").orphaned_leases() == []
+        # The torn commit was evicted and the shard redone.
+        assert engine.dist_stats["evicted"] >= 1
+
+    def test_exhausted_respawn_budget_raises(self, tmp_path):
+        from repro.errors import WorkerCrashError
+
+        # Every id the engine could possibly spawn crashes at its first
+        # point, and the budget allows one respawn round: ids 0,1 die,
+        # replacements 2,3 die, and the fleet is unrecoverable.
+        plan = FaultPlan(specs=tuple(
+            FaultSpec("crash", worker=i, step=0) for i in range(8)
+        ))
+        engine = SweepEngine(
+            workers=2, shard_size=2, transport="dist",
+            dist_dir=tmp_path / "board", dist_ttl_s=0.5,
+            dist_deadline_s=60.0, fault_plan=plan, dist_respawn_budget=2,
+        )
+        with pytest.raises(WorkerCrashError, match="respawn budget"):
+            engine.run(grid(8))
+        # Nothing left running.
+        deadline = time.monotonic() + 10.0
+        while multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
+
+    def test_dist_results_land_in_engine_cache(self, tmp_path):
+        configs = grid(8)
+        engine = SweepEngine(
+            workers=2, shard_size=2, transport="dist",
+            dist_dir=tmp_path / "board", cache_dir=tmp_path / "cache",
+            dist_deadline_s=60.0,
+        )
+        engine.run(configs)
+        # A second (local-transport) engine over the same cache dir is
+        # all cache hits: the dist run seeded it.
+        warm = SweepEngine(workers=1, cache_dir=tmp_path / "cache")
+        warm.run(configs)
+        assert warm.stats.cache_hits == len(configs)

@@ -1,0 +1,197 @@
+"""Coordinator unit tests: sharding, journal resume, reaping, assembly.
+
+The worker runs *in-process* here so every interleaving is explicit;
+real multi-process churn lives in ``test_chaos.py``.
+"""
+
+import pytest
+
+from repro.dist import DistCoordinator, DistWorker
+from repro.errors import DistError
+from repro.experiments.configs import full_grid
+from repro.experiments.runner import ExperimentRunner
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def grid(n=6):
+    return full_grid()[:n]
+
+
+def blob(results):
+    return [(r.config.key, r.seconds, r.package_j) for r in results]
+
+
+def drain(root, **kw):
+    """Run one in-process worker until the board is complete."""
+    return DistWorker(root, **kw).run()
+
+
+class TestSharding:
+    def test_shard_count_and_manifest(self, tmp_path):
+        c = DistCoordinator(tmp_path / "b", configs=grid(6), shard_size=2)
+        assert c.stats["shards"] == 3
+        assert c.stats["points"] == 6
+        keys = [k for ks in c.board.manifest["shard_keys"] for k in ks]
+        assert keys == [cfg.key for cfg in grid(6)]
+
+    def test_duplicate_configs_deduped(self, tmp_path):
+        c = DistCoordinator(
+            tmp_path / "b", configs=grid(4) + grid(4), shard_size=2
+        )
+        assert c.stats["points"] == 4
+
+    def test_create_requires_configs(self, tmp_path):
+        with pytest.raises(DistError, match="requires configs"):
+            DistCoordinator(tmp_path / "b")
+
+    def test_bad_measure_rejected(self, tmp_path):
+        with pytest.raises(DistError, match="measure"):
+            DistCoordinator(tmp_path / "b", configs=grid(), measure="psychic")
+
+
+class TestCompletion:
+    def test_single_worker_completes_and_assembles(self, tmp_path):
+        root = tmp_path / "b"
+        c = DistCoordinator(root, configs=grid(6), shard_size=2)
+        stats = drain(root)
+        assert stats.committed == 3 and stats.points == 6
+        results = c.run(deadline_s=30.0)
+        serial = ExperimentRunner().run_grid(grid(6))
+        assert blob(results) == blob(serial)
+        assert c.board.orphaned_leases() == []
+
+    def test_result_set_refuses_while_incomplete(self, tmp_path):
+        c = DistCoordinator(tmp_path / "b", configs=grid(4), shard_size=2)
+        with pytest.raises(DistError, match="incomplete"):
+            c.result_set()
+
+    def test_deadline_raises(self, tmp_path):
+        clock = FakeClock()
+
+        def sleep(dt):
+            clock.advance(dt)
+
+        c = DistCoordinator(
+            tmp_path / "b", configs=grid(4), shard_size=2,
+            clock=clock, sleep=sleep,
+        )
+        with pytest.raises(DistError, match="did not complete"):
+            c.run(deadline_s=5.0)
+
+
+class TestResume:
+    def test_restarted_coordinator_resumes_from_journal(self, tmp_path):
+        root = tmp_path / "b"
+        first = DistCoordinator(root, configs=grid(6), shard_size=2)
+        drain(root)
+        first.step()  # collects every commit into the journal
+        # The first coordinator is now "killed": nothing is carried over
+        # but the mount.
+        second = DistCoordinator(root, configs=grid(6), resume=True)
+        assert second.stats["resumed"] == 3
+        results = second.run(deadline_s=30.0)
+        assert blob(results) == blob(ExperimentRunner().run_grid(grid(6)))
+
+    def test_crash_before_any_collection_still_resumes(self, tmp_path):
+        root = tmp_path / "b"
+        DistCoordinator(root, configs=grid(6), shard_size=2)
+        drain(root)  # commits sit in results/, nothing journaled
+        second = DistCoordinator(root, resume=True)
+        assert second.stats["resumed"] == 0
+        results = second.run(deadline_s=30.0)
+        assert blob(results) == blob(ExperimentRunner().run_grid(grid(6)))
+        assert second.stats["collected"] == 3
+
+    def test_resume_verifies_grid(self, tmp_path):
+        root = tmp_path / "b"
+        DistCoordinator(root, configs=grid(6), shard_size=2)
+        with pytest.raises(DistError, match="does not match"):
+            DistCoordinator(root, configs=grid(4), resume=True)
+
+    def test_resume_verifies_measure(self, tmp_path):
+        root = tmp_path / "b"
+        DistCoordinator(root, configs=grid(4), shard_size=2)
+        with pytest.raises(DistError, match="measures"):
+            DistCoordinator(root, resume=True, measure="sampled")
+
+    def test_resume_verifies_fingerprint(self, tmp_path):
+        from repro.sim.analytic import PerformanceModel
+
+        root = tmp_path / "b"
+        DistCoordinator(root, configs=grid(4), shard_size=2)
+        other = PerformanceModel()
+        other.overlap_residual += 0.01  # a recalibrated model
+        with pytest.raises(DistError, match="different calibration"):
+            DistCoordinator(root, resume=True, model=other)
+
+    def test_foreign_journal_refused(self, tmp_path):
+        from repro.robust import CheckpointJournal
+
+        root = tmp_path / "b"
+        c = DistCoordinator(root, configs=grid(4), shard_size=2)
+        CheckpointJournal(c.board.journal_path).append(
+            "board", {"sha": "not-this-board"}
+        )
+        with pytest.raises(DistError, match="different board"):
+            DistCoordinator(root, resume=True)
+
+
+class TestReaping:
+    def test_stale_lease_expired_and_reissued(self, tmp_path):
+        clock = FakeClock()
+        root = tmp_path / "b"
+        c = DistCoordinator(
+            root, configs=grid(4), shard_size=2, ttl_s=5.0, clock=clock
+        )
+        c.board.claim(0, "dead-worker")  # claims, then dies silently
+        clock.advance(6.0)
+        c.step()
+        assert c.stats["leases_expired"] == 1
+        assert c.board.lease_info(0) is None  # claimable again
+
+    def test_fresh_lease_left_alone(self, tmp_path):
+        clock = FakeClock()
+        root = tmp_path / "b"
+        c = DistCoordinator(
+            root, configs=grid(4), shard_size=2, ttl_s=5.0, clock=clock
+        )
+        board = c.board
+        board.claim(0, "w0")
+        board.heartbeat("w0")
+        clock.advance(2.0)
+        c.step()
+        assert c.stats["leases_expired"] == 0
+        assert board.lease_info(0)["owner"] == "w0"
+
+    def test_straggler_gets_speculative_ticket(self, tmp_path):
+        clock = FakeClock()
+        root = tmp_path / "b"
+        c = DistCoordinator(
+            root, configs=grid(4), shard_size=2, ttl_s=60.0,
+            speculate_after_s=5.0, clock=clock,
+        )
+        c.board.claim(0, "slow-worker")
+        c.board.heartbeat("slow-worker")
+        clock.advance(6.0)
+        c.board.heartbeat("slow-worker")  # alive, just slow
+        c.step()
+        assert c.stats["speculative_offered"] == 1
+        assert c.board.speculative_ids() == [0]
+
+    def test_torn_commit_evicted_for_redo(self, tmp_path):
+        root = tmp_path / "b"
+        c = DistCoordinator(root, configs=grid(4), shard_size=2)
+        (c.board.results_dir / "0000.json").write_bytes(b"{ torn")
+        c.step()
+        assert c.stats["evicted"] == 1
+        assert c.board.committed_ids() == []

@@ -1,0 +1,164 @@
+"""Worker unit tests: manifest verification, claim order, fault hooks.
+
+All in-process; multi-process churn lives in ``test_chaos.py``.
+"""
+
+import pytest
+
+from repro.dist import DistCoordinator, DistWorker
+from repro.errors import DistError
+from repro.experiments.configs import full_grid
+from repro.robust import FaultPlan
+
+
+def grid(n=6):
+    return full_grid()[:n]
+
+
+def make_board(tmp_path, n=6, shard_size=2, **kw):
+    return DistCoordinator(
+        tmp_path / "b", configs=grid(n), shard_size=shard_size, **kw
+    )
+
+
+class TestJoin:
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        from repro.sim.analytic import PerformanceModel
+
+        make_board(tmp_path)
+        other = PerformanceModel()
+        other.overlap_residual += 0.01
+        with pytest.raises(DistError, match="fingerprint"):
+            DistWorker(tmp_path / "b", model=other).run()
+
+    def test_default_owner_from_worker_id(self, tmp_path):
+        make_board(tmp_path)
+        assert DistWorker(tmp_path / "b", worker_id=7).owner == "w7"
+
+    def test_bad_knobs_rejected(self, tmp_path):
+        make_board(tmp_path)
+        with pytest.raises(DistError):
+            DistWorker(tmp_path / "b", ttl_s=0.0)
+        with pytest.raises(DistError):
+            DistWorker(tmp_path / "b", poll_s=-1.0)
+
+
+class TestClaimLoop:
+    def test_single_worker_drains_in_shard_order(self, tmp_path):
+        c = make_board(tmp_path)
+        stats = DistWorker(tmp_path / "b").run()
+        assert stats.claimed == 3 and stats.committed == 3
+        assert stats.points == 6
+        assert sorted(c.board.committed_ids()) == [0, 1, 2]
+
+    def test_committed_shards_skipped(self, tmp_path):
+        c = make_board(tmp_path)
+        DistWorker(tmp_path / "b", worker_id=0).run()
+        stats = DistWorker(tmp_path / "b", worker_id=1).run()
+        assert stats.claimed == 0 and stats.committed == 0
+        assert c.board.orphaned_leases() == []
+
+    def test_leased_shard_skipped(self, tmp_path):
+        c = make_board(tmp_path)
+        c.board.claim(0, "someone-else")
+        w = DistWorker(tmp_path / "b")
+        claim = w._next_claim(committed=set())
+        assert claim == (1, False)
+
+    def test_speculative_ticket_claimed_when_no_primaries(self, tmp_path):
+        c = make_board(tmp_path)
+        for i in c.board.shard_ids():
+            c.board.claim(i, "others")
+        c.board.offer_speculative(1)
+        w = DistWorker(tmp_path / "b")
+        assert w._next_claim(committed=set()) == (1, True)
+
+    def test_deadline_exits_cleanly(self, tmp_path):
+        make_board(tmp_path)
+        w = DistWorker(tmp_path / "b", deadline_s=0.0)
+        # Freeze the clock's second reading past the deadline.
+        ticks = iter([0.0, 100.0, 100.0, 100.0])
+        w.clock = lambda: next(ticks)
+        stats = w.run()
+        assert stats.claimed == 0
+
+    def test_shared_cache_replays_reissued_work(self, tmp_path):
+        c = make_board(tmp_path)
+        DistWorker(tmp_path / "b", worker_id=0).run()
+        # Wipe the commits but keep the point cache: a second worker
+        # re-commits every shard purely from cache hits.
+        for i in c.board.shard_ids():
+            c.board.evict_result(i)
+        stats = DistWorker(tmp_path / "b", worker_id=1).run()
+        assert stats.committed == 3
+        assert stats.cache_hits == 6
+
+
+class TestProtocolFaults:
+    def test_lease_steal_still_commits_exactly_once(self, tmp_path):
+        c = make_board(tmp_path)
+        plan = FaultPlan.single("lease_steal", worker=0, step=0)
+        stats = DistWorker(tmp_path / "b", worker_id=0, fault_plan=plan).run()
+        assert stats.committed == 3
+        results = c.run(deadline_s=30.0)
+        assert len(list(results)) == 6
+
+    def test_duplicate_commit_verified_and_discarded(self, tmp_path):
+        c = make_board(tmp_path)
+        # Worker 0 computes shard 0 but its publish is delayed; worker 1
+        # commits the whole board first.
+        plan = FaultPlan.single("delayed_rename", worker=0, step=0,
+                                delay_s=0.0)
+        w0 = DistWorker(tmp_path / "b", worker_id=0, fault_plan=plan)
+
+        def hook_factory(pfault):
+            inner = DistWorker._stage_hook(w0, pfault)
+
+            def hook(tmp, final):
+                # The reaper expired w0's lease during the stretched
+                # publish window; w1 re-claims, computes and wins.
+                c.board.release(0)
+                DistWorker(tmp_path / "b", worker_id=1).run()
+                if inner:
+                    inner(tmp, final)
+
+            return hook
+
+        w0._stage_hook = hook_factory
+        stats = w0.run()
+        assert stats.duplicates == 1
+        assert c.board.read_result(0)["owner"] == "w1"
+
+    def test_torn_commit_spec_is_understood(self, tmp_path):
+        # The real torn_commit hard-exits the process, so here we only
+        # check the plan addressing; the end-to-end path runs in
+        # test_chaos.py.
+        plan = FaultPlan.single("torn_commit", worker=2, step=1)
+        assert plan.fire(2, 1, kinds=("torn_commit",)).kind == "torn_commit"
+        assert plan.fire(2, 1, kinds=("crash",)) is None
+
+    def test_compute_and_protocol_steps_are_disjoint(self, tmp_path):
+        # A crash spec at step 0 must not fire from the protocol query
+        # and vice versa.
+        plan = FaultPlan(specs=(
+            FaultPlan.single("crash", worker=0, step=0).specs[0],
+            FaultPlan.single("lease_steal", worker=0, step=0).specs[0],
+        ))
+        from repro.robust.faults import DIST_FAULT_KINDS, FAULT_KINDS
+
+        assert plan.fire(0, 0, kinds=FAULT_KINDS).kind == "crash"
+        assert plan.fire(0, 0, kinds=DIST_FAULT_KINDS).kind == "lease_steal"
+
+    def test_failing_shard_released_not_poisoned(self, tmp_path):
+        c = make_board(tmp_path)
+        # Tamper with shard 0's spec so evaluation raises, then heal it.
+        spec_path = c.board.shards_dir / "0000.json"
+        good = spec_path.read_bytes()
+        spec_path.write_bytes(b"{ broken")
+        w = DistWorker(tmp_path / "b", worker_id=0, deadline_s=0.5)
+        stats = w.run()
+        assert stats.released >= 1
+        assert c.board.lease_info(0) is None  # handed back, not stuck
+        spec_path.write_bytes(good)
+        stats = DistWorker(tmp_path / "b", worker_id=1).run()
+        assert sorted(c.board.committed_ids()) == [0, 1, 2]

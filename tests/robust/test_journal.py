@@ -86,6 +86,89 @@ class TestJournal:
         assert len(path.read_text().splitlines()) == 10
 
 
+class FsyncRecorder:
+    """Wrap ``os.fsync`` and classify every synced fd as file or dir."""
+
+    def __init__(self):
+        import os as _os
+
+        self._real = _os.fsync
+        self.file_syncs = 0
+        self.dir_paths = []
+
+    def __call__(self, fd):
+        import os as _os
+        import stat as _stat
+
+        st = _os.fstat(fd)
+        if _stat.S_ISDIR(st.st_mode):
+            # /proc is unavailable for resolving an fd path portably;
+            # record the inode instead and compare via os.stat later.
+            self.dir_paths.append(st.st_ino)
+        else:
+            self.file_syncs += 1
+        self._real(fd)
+
+
+class TestJournalDirectoryDurability:
+    """Creating the journal must fsync the *parent directory* too.
+
+    ``fsync(file)`` makes the bytes durable but the file's directory
+    entry lives in the parent; without a directory fsync a crash right
+    after the first append can lose the whole journal.
+    """
+
+    def test_first_append_fsyncs_parent_dir(self, tmp_path, monkeypatch):
+        import os as _os
+
+        rec = FsyncRecorder()
+        monkeypatch.setattr(_os, "fsync", rec)
+        path = tmp_path / "sub" / "j.jsonl"
+        CheckpointJournal(path).append("point", {"name": "a", "value": 1})
+        assert rec.file_syncs == 1
+        parent_ino = _os.stat(path.parent).st_ino
+        assert parent_ino in rec.dir_paths
+
+    def test_later_appends_skip_the_dir_fsync(self, tmp_path, monkeypatch):
+        import os as _os
+
+        path = tmp_path / "j.jsonl"
+        j = CheckpointJournal(path)
+        j.append("point", {"name": "a", "value": 1})  # creates the file
+        rec = FsyncRecorder()
+        monkeypatch.setattr(_os, "fsync", rec)
+        j.append("point", {"name": "b", "value": 2})
+        j.append("point", {"name": "c", "value": 3})
+        assert rec.file_syncs == 2
+        assert rec.dir_paths == []  # entry already durable; bytes only
+
+    def test_durable_replace_fsyncs_target_dir(self, tmp_path, monkeypatch):
+        import os as _os
+
+        from repro.robust import durable_replace
+
+        src = tmp_path / "a.tmp"
+        src.write_text("x")
+        rec = FsyncRecorder()
+        monkeypatch.setattr(_os, "fsync", rec)
+        durable_replace(src, tmp_path / "a.json")
+        assert _os.stat(tmp_path).st_ino in rec.dir_paths
+
+    def test_durable_link_fsyncs_and_first_wins(self, tmp_path, monkeypatch):
+        import os as _os
+
+        from repro.robust import durable_link
+
+        src = tmp_path / "a.tmp"
+        src.write_text("x")
+        rec = FsyncRecorder()
+        monkeypatch.setattr(_os, "fsync", rec)
+        durable_link(src, tmp_path / "a.json")
+        assert _os.stat(tmp_path).st_ino in rec.dir_paths
+        with pytest.raises(FileExistsError):
+            durable_link(src, tmp_path / "a.json")
+
+
 class TestStudyCheckpoint:
     PARAMS = {"n": 32, "schemes": ["mo", "ho"]}
 

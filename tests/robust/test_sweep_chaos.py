@@ -224,3 +224,101 @@ class TestCacheHygiene:
         own.write_text("{}")
         self.make_cache(tmp_path)
         assert not own.exists()
+
+
+def _concurrent_put(root, fingerprint, barrier):
+    """Spawn-process body: race another writer committing the same entry."""
+    from repro.experiments.configs import full_grid
+    from repro.experiments.runner import ExperimentRunner
+    from repro.experiments.sweep import SweepCache
+
+    result = ExperimentRunner().run(full_grid()[0])
+    cache = SweepCache(root, fingerprint, "model")
+    barrier.wait()  # both writers commit as close together as possible
+    cache.put(result)
+
+
+class TestConcurrentCacheWriters:
+    def test_same_entry_two_processes_one_valid_result(self, tmp_path):
+        import multiprocessing
+
+        from repro.experiments.sweep import calibration_fingerprint
+        from repro.sim.analytic import PerformanceModel
+
+        fp = calibration_fingerprint(PerformanceModel())
+        ctx = multiprocessing.get_context("spawn")
+        barrier = ctx.Barrier(2)
+        procs = [
+            ctx.Process(
+                target=_concurrent_put, args=(str(tmp_path), fp, barrier)
+            )
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60.0)
+        assert all(p.exitcode == 0 for p in procs)
+
+        cache = SweepCache(tmp_path, fp, "model")
+        cfg = full_grid()[0]
+        cached = cache.get(cfg)
+        # Exactly one valid entry (last atomic replace wins; both wrote
+        # identical bytes) and zero staging debris.
+        assert cached is not None
+        assert keys([cached]) == keys(reference([cfg]))
+        entries = [p for p in cache.dir.iterdir()]
+        assert [p.name for p in entries] == [f"{cfg.key}.json"]
+
+
+class _Interrupter:
+    """A stand-in for time.sleep that simulates Ctrl-C mid-backoff."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, seconds):
+        self.calls += 1
+        raise KeyboardInterrupt
+
+
+class TestBackoffInterrupt:
+    def test_ctrl_c_during_backoff_propagates_and_reaps_pool(self, tmp_path):
+        import multiprocessing
+
+        log = tmp_path / "telemetry.jsonl"
+        engine = SweepEngine(
+            workers=2, shard_size=4, retries=3, backoff_s=0.2,
+            log_path=log,
+            fault_plan=FaultPlan.single(
+                "transient", worker=0, step=0, attempts=10
+            ),
+        )
+        interrupter = _Interrupter()
+        engine._sleep = interrupter
+        with pytest.raises(KeyboardInterrupt):
+            engine.run(small_grid())
+        assert interrupter.calls == 1  # the very first backoff slice
+        # The interrupted event is the last thing in the log, and the
+        # stream was closed cleanly (no torn line).
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        assert events[-1]["event"] == "sweep_interrupted"
+        # The abandoned pool was torn down on the way out.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
+
+    def test_backoff_capped_and_deadline_aware(self):
+        sleeps = []
+        engine = SweepEngine(workers=1, backoff_s=1.0, backoff_cap_s=0.15)
+        engine._sleep = lambda s: sleeps.append(s) or time.sleep(0.0)
+        t0 = time.monotonic()
+        engine._backoff_sleep(0.15)
+        # Sliced: no single sleep exceeds the 50 ms slice, and with a
+        # zero-cost fake sleep the loop still exits promptly because it
+        # checks a real deadline rather than counting slices.
+        assert sleeps and max(sleeps) <= 0.05 + 1e-9
+        assert time.monotonic() - t0 < 5.0

@@ -1,6 +1,8 @@
-"""Watchdog unit tests: silence accounting and the hang verdict."""
+"""Watchdog unit tests: silence accounting and the hang verdict.
 
-import time
+Timing tests drive an injected fake clock instead of sleeping, so the
+assertions are exact (and immune to loaded-CI scheduling jitter).
+"""
 
 import pytest
 
@@ -8,32 +10,69 @@ from repro.errors import WorkerHangError
 from repro.robust import Watchdog
 
 
+class FakeClock:
+    """A zero-argument monotonic clock advanced by hand."""
+
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
 class TestWatchdog:
     def test_disabled_never_expires(self):
-        wd = Watchdog(None)
+        clock = FakeClock()
+        wd = Watchdog(None, clock=clock)
+        clock.advance(1e9)
         assert not wd.expired()
         wd.check("ctx")  # never raises
 
     def test_beat_resets_silence(self):
-        wd = Watchdog(10.0)
-        time.sleep(0.05)
-        before = wd.silence_s
+        clock = FakeClock()
+        wd = Watchdog(10.0, clock=clock)
+        clock.advance(3.0)
+        assert wd.silence_s == 3.0
         wd.beat()
-        assert wd.silence_s < before
+        assert wd.silence_s == 0.0
 
     def test_expiry_and_check(self):
-        wd = Watchdog(0.05)
-        assert not wd.expired()
-        time.sleep(0.1)
+        clock = FakeClock()
+        wd = Watchdog(5.0, clock=clock)
+        clock.advance(5.0)
+        assert not wd.expired()  # exactly at the deadline is still alive
+        clock.advance(0.001)
         assert wd.expired()
         with pytest.raises(WorkerHangError, match="no progress"):
             wd.check("worker 3")
 
+    def test_beat_pushes_deadline_forward(self):
+        clock = FakeClock()
+        wd = Watchdog(5.0, clock=clock)
+        for _ in range(10):
+            clock.advance(4.0)
+            wd.beat()
+        assert not wd.expired()
+        clock.advance(5.5)
+        assert wd.expired()
+
     def test_check_mentions_context(self):
-        wd = Watchdog(0.01)
-        time.sleep(0.05)
+        clock = FakeClock()
+        wd = Watchdog(1.0, clock=clock)
+        clock.advance(2.0)
         with pytest.raises(WorkerHangError, match="worker 7"):
             wd.check("worker 7")
+
+    def test_default_clock_is_wall_time(self):
+        # No fake clock injected: the watchdog still works against
+        # time.monotonic (smoke, no timing assertion).
+        wd = Watchdog(1000.0)
+        wd.beat()
+        assert wd.silence_s >= 0.0
+        assert not wd.expired()
 
     def test_bad_timeout_rejected(self):
         from repro.errors import SimulationError

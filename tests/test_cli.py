@@ -132,6 +132,19 @@ class TestSweep:
 
         assert len(ResultSet.from_csv(out_path)) == 216
 
+    def test_sweep_dist_transport(self, capsys, tmp_path):
+        board = str(tmp_path / "board")
+        out_path = str(tmp_path / "results.json")
+        assert main(["sweep", "--transport", "dist", "--board", board,
+                     "--workers", "1", "--no-cache",
+                     "--output", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "swept 216 points" in out
+        assert f"board: {board}" in out
+        from repro.experiments import ResultSet
+
+        assert len(ResultSet.from_json(out_path)) == 216
+
     def test_report_through_sweep_engine(self, tmp_path):
         from repro.experiments import SweepEngine, generate_report
 
