@@ -1,0 +1,244 @@
+"""Advisor service: closed-loop latency and coalescing effectiveness.
+
+Run as a script to produce the committed ``BENCH_serve.json``::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+Three seeded closed-loop workloads against an in-process
+:class:`~repro.serve.ThreadedService` (real HTTP over loopback, the
+same transport the tests use):
+
+* **hot-repeat** — every client re-requests from a small pool of
+  popular workloads.  After the first evaluation per workload the
+  service answers from the warm store (or coalesces onto an in-flight
+  job), so this measures the memoized fast path and reports the
+  coalescing hit-rate the batcher is built for.
+* **cold-unique** — every request is distinct (no two share a request
+  key), measuring the full validate → evaluate → advise pipeline with
+  the store always missing.
+* **sweep-pool** — hot-repeat shaped load with ``refine: sweep``
+  through a one-worker evaluation pool, pricing the IPC round-trip the
+  sampled path pays.
+
+Latency is recorded per request (wall time around one HTTP round
+trip); the JSON reports p50/p99 plus throughput, and the hit-rate is
+reconciled against the service's own counters (admitted, evaluations,
+coalesced, memo hits) rather than inferred client-side.
+"""
+
+import http.client
+import json
+import os
+import platform
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve import AdvisorService, ThreadedService
+
+ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = ROOT / "BENCH_serve.json"
+SEED = 1107
+
+
+def _advise(port, doc, timeout=120.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request(
+            "POST", "/v1/advise", body=json.dumps(doc),
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        body = json.loads(resp.read())
+        return resp.status, body
+    finally:
+        conn.close()
+
+
+def _percentile(sorted_ms, q):
+    if not sorted_ms:
+        return None
+    idx = min(len(sorted_ms) - 1, int(round(q * (len(sorted_ms) - 1))))
+    return sorted_ms[idx]
+
+
+def _doc_pool(unique):
+    """A deterministic pool of `unique` distinct advise documents."""
+    docs = []
+    scheme_sets = (["rm"], ["mo"], ["ho"], ["rm", "mo"], ["mo", "ho"],
+                   ["rm", "ho"], ["rm", "mo", "ho"])
+    freqs = ([1.8], [2.6], [1.8, 2.6], [1.6, 2.2])
+    for size_exp in range(4, 17):
+        for schemes in scheme_sets:
+            for frequencies in freqs:
+                docs.append({
+                    "size_exp": size_exp,
+                    "schemes": schemes,
+                    "frequencies": frequencies,
+                })
+                if len(docs) == unique:
+                    return docs
+    raise ValueError(f"cannot build {unique} unique documents")
+
+
+def _disjoint_doc_pool(unique):
+    """Documents whose *sample points* are pairwise disjoint.
+
+    Distinct request keys can still share warm-store entries (the store
+    is keyed per config, not per request), which would quietly memoize
+    a "cold" run.  Giving every document a unique (size_exp, placement)
+    pair makes every underlying config unique too, so each request
+    really pays one fresh evaluation.
+    """
+    placements = ("1s", "4s", "8s", "2d", "8d", "16d")
+    schemes = ("rm", "mo", "ho")
+    freqs = (1.6, 1.8, 2.2, 2.6)
+    docs = []
+    for i, (size_exp, placement) in enumerate(
+        (s, p) for s in range(4, 17) for p in placements
+    ):
+        docs.append({
+            "size_exp": size_exp,
+            "placement": placement,
+            "schemes": [schemes[i % len(schemes)]],
+            "frequencies": [freqs[i % len(freqs)]],
+        })
+        if len(docs) == unique:
+            return docs
+    raise ValueError(f"cannot build {unique} disjoint documents")
+
+
+def run_load(name, *, n_requests, concurrency, unique, workers=0,
+             refine=None, disjoint=False, service_kwargs=None):
+    """Closed-loop: `concurrency` clients issue `n_requests` total."""
+    rng = random.Random(SEED)
+    pool_docs = _disjoint_doc_pool(unique) if disjoint else _doc_pool(unique)
+    if unique >= n_requests:
+        # Fully-unique traffic: every document exactly once.
+        docs = [dict(d) for d in pool_docs[:n_requests]]
+        rng.shuffle(docs)
+    else:
+        docs = [dict(rng.choice(pool_docs)) for _ in range(n_requests)]
+    if refine is not None:
+        for d in docs:
+            d["refine"] = refine
+
+    service = AdvisorService(
+        workers=workers, queue_limit=n_requests,
+        **(service_kwargs or {}),
+    )
+    threaded = ThreadedService(service).start()
+    latencies_ms = []
+    try:
+        port = threaded.port
+
+        def one(doc):
+            t0 = time.perf_counter()
+            status, body = _advise(port, doc)
+            dt = (time.perf_counter() - t0) * 1000.0
+            assert status == 200, f"{name}: status {status}: {body}"
+            assert not body["degraded"], f"{name}: unexpected degradation"
+            return dt
+
+        t_start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=concurrency) as pool:
+            futures = [pool.submit(one, doc) for doc in docs]
+            latencies_ms = [f.result(timeout=300) for f in futures]
+        wall_s = time.perf_counter() - t_start
+
+        m = service.state.metrics
+        admitted = m.counter_value("serve.admitted")
+        evaluations = m.counter_value("serve.evaluations")
+        coalesced = m.counter_value("serve.coalesced")
+        memo_hits = m.counter_value("serve.memo_hits")
+    finally:
+        threaded.stop()
+        if service.pool is not None:
+            assert not service.pool.child_pids(), "benchmark leaked workers"
+
+    latencies_ms.sort()
+    return {
+        "name": name,
+        "requests": n_requests,
+        "concurrency": concurrency,
+        "unique_workloads": unique,
+        "eval_workers": workers,
+        "wall_s": round(wall_s, 4),
+        "requests_per_sec": round(n_requests / wall_s, 1),
+        "latency_ms": {
+            "p50": round(_percentile(latencies_ms, 0.50), 3),
+            "p99": round(_percentile(latencies_ms, 0.99), 3),
+            "max": round(latencies_ms[-1], 3),
+        },
+        "counters": {
+            "admitted": admitted,
+            "evaluations": evaluations,
+            "coalesced": coalesced,
+            "memo_hits": memo_hits,
+        },
+        # Fraction of admitted requests answered without a fresh
+        # evaluation (coalesced onto an in-flight job or served warm).
+        "coalescing_hit_rate": round(1.0 - evaluations / admitted, 4)
+        if admitted else None,
+    }
+
+
+def run_all(quick=False):
+    n = 64 if quick else 256
+    workloads = [
+        run_load("hot-repeat", n_requests=n, concurrency=16, unique=8),
+        run_load("cold-unique", n_requests=min(n, 78),
+                 concurrency=16, unique=min(n, 78), disjoint=True),
+    ]
+    if not quick:
+        workloads.append(
+            run_load("sweep-pool", n_requests=64, concurrency=16,
+                     unique=8, workers=1, refine="sweep")
+        )
+    return {
+        "benchmark": "bench_serve",
+        "units": "milliseconds per request; requests/second",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "workloads": workloads,
+    }
+
+
+@pytest.mark.slow
+def test_serve_load_coalesces_and_stays_wellformed():
+    results = run_all(quick=True)
+    hot = results["workloads"][0]
+    cold = results["workloads"][1]
+    # Hot traffic must be answered mostly without fresh evaluations...
+    assert hot["counters"]["evaluations"] <= hot["unique_workloads"]
+    assert hot["coalescing_hit_rate"] >= 0.5
+    # ...while fully-unique traffic cannot coalesce at all.
+    assert cold["counters"]["evaluations"] == cold["unique_workloads"]
+    assert cold["counters"]["coalesced"] == 0
+    assert cold["counters"]["memo_hits"] == 0
+
+
+def main():
+    results = run_all()
+    OUT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+    for w in results["workloads"]:
+        lat = w["latency_ms"]
+        hit = w["coalescing_hit_rate"]
+        print(
+            f"{w['name']:>12s}: {w['requests_per_sec']:>8,.1f} req/s  "
+            f"p50 {lat['p50']:>8.3f} ms  p99 {lat['p99']:>9.3f} ms  "
+            f"hit-rate {hit if hit is not None else '-'}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,8 @@
   mount and collect worker commits into the durable journal.
 * ``sweep-worker``      — join a task board: claim shard leases,
   compute, commit exactly once.
+* ``serve``      — the locality-advisor HTTP service
+  (``POST /v1/advise``: predicted curves + recommended ordering).
 * ``cachegrind`` — the Section IV-A LL-miss study.
 * ``mrc``        — miss-ratio curves with conflict-miss isolation.
 * ``atlas``      — the tiled-vs-naive wall-clock comparison.
@@ -178,6 +180,36 @@ def build_parser() -> argparse.ArgumentParser:
                     help="exit cleanly after S seconds even if the board "
                          "is unfinished")
     _add_obs_flags(dw)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the locality-advisor HTTP service (POST /v1/advise)",
+    )
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="listen address")
+    sv.add_argument("--port", type=int, default=8713,
+                    help="listen port (0 picks an ephemeral port)")
+    sv.add_argument("--workers", type=int, default=0,
+                    help="evaluation worker processes; 0 serves the "
+                         "analytic model in-process")
+    sv.add_argument("--queue-limit", type=int, default=32,
+                    help="max requests in flight before 429 + Retry-After")
+    sv.add_argument("--deadline-s", type=float, default=None,
+                    help="default per-request deadline when the request "
+                         "does not set deadline_s")
+    sv.add_argument("--max-deadline-s", type=float, default=30.0,
+                    help="ceiling applied to client-supplied deadlines")
+    sv.add_argument("--hang-timeout-s", type=float, default=10.0,
+                    help="watchdog timeout for silent evaluation workers")
+    sv.add_argument("--cache-dir", default=None,
+                    help="share the sweep's on-disk result cache "
+                         "(default: $XDG_CACHE_HOME/sfc-repro/sweep)")
+    sv.add_argument("--no-cache", action="store_true",
+                    help="serve without the on-disk result cache")
+    sv.add_argument("--state-dir", default=None, metavar="DIR",
+                    help="journal warm results here so a restarted "
+                         "service reboots warm")
+    _add_obs_flags(sv)
 
     c = sub.add_parser("cachegrind", help="run the Section IV-A study")
     c.add_argument("--n", type=int, default=128, help="scaled problem side")
@@ -519,6 +551,62 @@ def _cmd_sweep_worker(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.experiments.sweep import default_cache_dir
+    from repro.serve import AdvisorService
+
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    service = AdvisorService(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        default_deadline_s=args.deadline_s,
+        max_deadline_s=args.max_deadline_s,
+        hang_timeout_s=args.hang_timeout_s,
+        cache_dir=cache_dir,
+        state_dir=args.state_dir,
+    )
+
+    async def run() -> None:
+        import signal
+
+        # Background jobs in non-interactive shells inherit SIGINT as
+        # SIG_IGN, so rely on explicit handlers rather than Python's
+        # default KeyboardInterrupt for both signals.
+        stop = asyncio.Event()
+        try:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(sig, stop.set)
+        except NotImplementedError:  # non-Unix event loop
+            pass
+        await service.start()
+        print(f"advisor listening on http://{service.host}:{service.port} "
+              f"({args.workers} workers, fingerprint "
+              f"{service.state.fingerprint[:16]})", flush=True)
+        if service.state.warm_restored:
+            print(f"restored {service.state.warm_restored} warm results "
+                  f"from {args.state_dir}", flush=True)
+        try:
+            await stop.wait()
+        finally:
+            await service.stop()
+        print("advisor stopped", flush=True)
+
+    with _obs_session(args):
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 def _cmd_cachegrind(args) -> int:
     from repro.errors import ExperimentError
     from repro.experiments import run_cachegrind_study
@@ -712,6 +800,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "sweep-coordinator": _cmd_sweep_coordinator,
     "sweep-worker": _cmd_sweep_worker,
+    "serve": _cmd_serve,
     "cachegrind": _cmd_cachegrind,
     "mrc": _cmd_mrc,
     "query": _cmd_query,

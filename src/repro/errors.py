@@ -22,6 +22,9 @@ __all__ = [
     "ObservabilityError",
     "DistError",
     "LeaseError",
+    "ServeError",
+    "ValidationError",
+    "AdmissionError",
 ]
 
 
@@ -110,6 +113,42 @@ class LeaseError(DistError):
     *mid-compute* is not an error (the worker finishes and relies on
     first-commit-wins); only inconsistent lease state is.
     """
+
+
+class ServeError(ReproError, RuntimeError):
+    """The advisor service was misconfigured or driven inconsistently.
+
+    Base of the :mod:`repro.serve` taxonomy; the HTTP layer maps the
+    concrete subclasses to status codes (:class:`ValidationError` to 400,
+    :class:`AdmissionError` to 429) and anything else in the
+    :class:`ReproError` family to 500.
+    """
+
+
+class ValidationError(ServeError, ValueError):
+    """An advise request failed schema validation.
+
+    Carries ``path``, the machine-readable location of the offending
+    field (``"schemes[1]"``, ``"deadline_s"``, or ``"$"`` for the
+    document root), so clients can surface the rejection precisely; the
+    service echoes it in the typed 400 error body.
+    """
+
+    def __init__(self, message: str, path: str = "$"):
+        super().__init__(message)
+        self.path = path
+
+
+class AdmissionError(ServeError):
+    """The service's bounded admission queue is full.
+
+    Mapped to 429; ``retry_after_s`` rides out as the ``Retry-After``
+    header so well-behaved clients back off instead of hammering.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class CheckpointError(ExperimentError):

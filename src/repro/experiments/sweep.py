@@ -63,6 +63,7 @@ __all__ = [
     "SweepTelemetry",
     "calibration_fingerprint",
     "default_cache_dir",
+    "evaluate_batch",
     "resolve_runner",
     "sweep_grid",
 ]
@@ -201,6 +202,31 @@ class SweepCache:
         tmp.write_text(json.dumps(payload, sort_keys=True))
         durable_replace(tmp, path)
 
+    def get_many(
+        self, configs: list[SampleConfig]
+    ) -> tuple[dict[str, SampleResult], list[SampleConfig]]:
+        """Split ``configs`` into cache hits and misses in one pass.
+
+        Returns ``(hits keyed by config key, misses in input order)``.
+        The batch-submission entry point of the advisor service: a
+        coalesced batch consults the cache once and ships only the
+        misses to an evaluation worker.
+        """
+        hits: dict[str, SampleResult] = {}
+        misses: list[SampleConfig] = []
+        for cfg in configs:
+            cached = self.get(cfg)
+            if cached is not None:
+                hits[cfg.key] = cached
+            else:
+                misses.append(cfg)
+        return hits, misses
+
+    def put_many(self, results) -> None:
+        """Store a batch of results (atomic per entry, like :meth:`put`)."""
+        for r in results:
+            self.put(r)
+
 
 # -- telemetry -----------------------------------------------------------------
 
@@ -318,6 +344,44 @@ def _measured_result(result: SampleResult, sample_hz: float) -> SampleResult:
     )
 
 
+def evaluate_batch(
+    configs: list[SampleConfig],
+    runner: ExperimentRunner,
+    measure: str = "model",
+    sample_hz: float = 10.0,
+    worker: int = 0,
+    step_base: int = 0,
+    attempt: int = 0,
+    fault_plan: FaultPlan | None = None,
+) -> list[SampleResult | None]:
+    """Evaluate a batch of sample points, with optional fault injection.
+
+    The single evaluation loop shared by sweep shards (worker = shard
+    index, steps count points within the shard) and the advisor
+    service's worker pool (worker = pool worker id, ``step_base`` carries
+    the worker's cumulative point count across batches, so a fault plan
+    addresses one flat step space per worker).  Faults fire *before* the
+    point is evaluated; a ``corrupt`` fault punches a ``None`` hole into
+    the returned list, which consumers must detect and reject.
+    """
+    out: list[SampleResult | None] = []
+    for i, cfg in enumerate(configs):
+        fault = (
+            fault_plan.fire(worker, step_base + i, attempt)
+            if fault_plan
+            else None
+        )
+        if fault is not None and fault.kind != "corrupt":
+            execute_fault(fault)
+        result = runner.run(cfg)
+        if measure == "sampled":
+            result = _measured_result(result, sample_hz)
+        # A "corrupt" fault tampers with the shipped payload: the parent
+        # must notice the hole and treat the batch as failed.
+        out.append(None if fault is not None and fault.kind == "corrupt" else result)
+    return out
+
+
 def _evaluate_shard(
     shard: list[SampleConfig],
     runner: ExperimentRunner,
@@ -327,20 +391,10 @@ def _evaluate_shard(
     attempt: int = 0,
     fault_plan: FaultPlan | None = None,
 ) -> list[SampleResult]:
-    out: list[SampleResult | None] = []
-    for i, cfg in enumerate(shard):
-        fault = (
-            fault_plan.fire(shard_index, i, attempt) if fault_plan else None
-        )
-        if fault is not None and fault.kind != "corrupt":
-            execute_fault(fault)
-        result = runner.run(cfg)
-        if measure == "sampled":
-            result = _measured_result(result, sample_hz)
-        # A "corrupt" fault tampers with the shipped payload: the parent
-        # must notice the hole and treat the shard as failed.
-        out.append(None if fault is not None and fault.kind == "corrupt" else result)
-    return out
+    return evaluate_batch(
+        shard, runner, measure, sample_hz,
+        worker=shard_index, attempt=attempt, fault_plan=fault_plan,
+    )
 
 
 def _pool_run_shard(

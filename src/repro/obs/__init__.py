@@ -31,6 +31,7 @@ from repro.obs.core import (
     attach,
     count,
     gauge,
+    gen_trace_id,
     metrics_active,
     observe,
     phase_span,
@@ -53,6 +54,7 @@ __all__ = [
     "attach",
     "count",
     "gauge",
+    "gen_trace_id",
     "metrics_active",
     "observe",
     "phase_span",

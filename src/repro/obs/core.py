@@ -26,6 +26,7 @@ covers parent and workers.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
@@ -46,6 +47,7 @@ __all__ = [
     "attach",
     "count",
     "gauge",
+    "gen_trace_id",
     "metrics_active",
     "observe",
     "phase_span",
@@ -54,6 +56,23 @@ __all__ = [
     "tracing_active",
     "worker_context",
 ]
+
+#: Process-wide sequence distinguishing ids minted in the same clock tick.
+_TRACE_ID_SEQ = itertools.count(1)
+
+
+def gen_trace_id(prefix: str = "t") -> str:
+    """Mint a process-unique id in the trace-id format.
+
+    ``<prefix><pid hex>-<seq hex>-<ns hex>`` — the pid scopes ids across
+    processes sharing one trace file, the monotonic sequence breaks ties
+    within one clock tick (``next`` on a :func:`itertools.count` is
+    atomic under the GIL, so minting is thread-safe), and the wall-clock
+    nanoseconds make ids sortable-ish for humans.  The advisor service
+    mints per-request ids with ``prefix="req"``; fresh
+    :class:`TraceRecorder` instances mint their trace ids here too.
+    """
+    return f"{prefix}{os.getpid():x}-{next(_TRACE_ID_SEQ):x}-{time.time_ns():x}"
 
 
 def _json_safe(value):
@@ -343,7 +362,7 @@ class TraceRecorder:
         self._stack: list[Span] = []
         self._root_parent = root_parent_id
         if trace_id is None:
-            self.trace_id = f"t{self.pid:x}-{time.time_ns():x}"
+            self.trace_id = gen_trace_id()
             self.emit(
                 "trace_begin",
                 {"trace_id": self.trace_id, "pid": self.pid, "t0": time.time()},

@@ -41,7 +41,7 @@ from repro.robust.journal import (
     StudyCheckpoint,
     payload_sha,
 )
-from repro.robust.watchdog import DEFAULT_HEARTBEAT_S, Watchdog
+from repro.robust.watchdog import DEFAULT_HEARTBEAT_S, Deadline, Watchdog
 
 __all__ = [
     "ALL_FAULT_KINDS",
@@ -61,6 +61,7 @@ __all__ = [
     "StudyCheckpoint",
     "payload_sha",
     "DEFAULT_HEARTBEAT_S",
+    "Deadline",
     "Watchdog",
     "ON_FAILURE_MODES",
     "DegradedRunWarning",

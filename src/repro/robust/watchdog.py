@@ -23,10 +23,49 @@ import time
 
 from repro.errors import SimulationError, WorkerHangError
 
-__all__ = ["DEFAULT_HEARTBEAT_S", "Watchdog"]
+__all__ = ["DEFAULT_HEARTBEAT_S", "Deadline", "Watchdog"]
 
 #: How often an idle-ish worker reassures the parent (seconds).
 DEFAULT_HEARTBEAT_S = 1.0
+
+
+class Deadline:
+    """A fixed wall-clock budget, started at construction.
+
+    The complement of :class:`Watchdog`: a watchdog's deadline moves
+    with every heartbeat, a :class:`Deadline` never does — it bounds the
+    *total* time of an operation regardless of progress.  Used by the
+    advisor service for per-request budgets (a request that keeps making
+    slow progress must still answer by its deadline) and usable anywhere
+    a "finish by T" bound composes with retry loops.
+
+    ``budget_s=None`` is unbounded: :meth:`remaining` returns ``None``
+    and :meth:`expired` is always ``False``.  ``clock`` is injectable
+    for exact-boundary tests, like :class:`Watchdog`'s.
+    """
+
+    def __init__(self, budget_s: float | None, clock=time.monotonic):
+        if budget_s is not None and budget_s <= 0:
+            raise SimulationError(
+                f"budget_s must be positive, got {budget_s}"
+            )
+        self.budget_s = budget_s
+        self._clock = clock
+        self._t0 = clock()
+
+    @property
+    def elapsed_s(self) -> float:
+        """Seconds since the deadline started."""
+        return self._clock() - self._t0
+
+    def remaining(self) -> float | None:
+        """Seconds left in the budget (never negative); ``None`` if unbounded."""
+        if self.budget_s is None:
+            return None
+        return max(0.0, self.budget_s - self.elapsed_s)
+
+    def expired(self) -> bool:
+        return self.budget_s is not None and self.elapsed_s >= self.budget_s
 
 
 class Watchdog:

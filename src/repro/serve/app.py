@@ -1,0 +1,464 @@
+"""The advisor HTTP service: stdlib asyncio streams, no framework.
+
+A deliberately small HTTP/1.1 server — request line, headers,
+``Content-Length`` bodies, keep-alive — because the service's surface is
+three routes:
+
+* ``POST /v1/advise`` — validate, coalesce, answer (or degrade);
+* ``GET /healthz`` — liveness + calibration fingerprint + pool state;
+* ``GET /metrics`` — the service's
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
+
+Status mapping is the error taxonomy made visible:
+:class:`~repro.errors.ValidationError` → 400 with a machine-readable
+field path, :class:`~repro.errors.AdmissionError` → 429 with
+``Retry-After``, a fired per-request deadline → 504 whose body is the
+analytic fallback marked ``degraded``, anything else → 500.  Every
+response carries an ``X-Trace-Id`` (client-supplied or generated via
+:func:`repro.obs.gen_trace_id`) that also labels the request's
+``serve.request`` span.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.errors import (
+    AdmissionError,
+    ReproError,
+    ServeError,
+    ValidationError,
+)
+from repro.robust import FaultPlan
+from repro.serve.batching import Batcher
+from repro.serve.schemas import SERVE_SCHEMA_VERSION, validate_advise_request
+from repro.serve.state import ServiceState
+from repro.serve.workers import EvalWorkerPool
+from repro.sim.analytic import PerformanceModel
+
+__all__ = ["AdvisorService", "ThreadedService"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+_MAX_HEADERS = 64
+_MAX_LINE = 8192
+
+
+class _HttpError(Exception):
+    """A protocol-level rejection decided before routing."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _error_body(
+    trace_id: str, err_type: str, message: str, **extra
+) -> dict:
+    return {
+        "trace_id": trace_id,
+        "error": {"type": err_type, "message": message, **extra},
+    }
+
+
+class AdvisorService:
+    """One advisor instance: state + worker pool + batcher + listener."""
+
+    def __init__(
+        self,
+        model: PerformanceModel | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 0,
+        queue_limit: int = 32,
+        default_deadline_s: float | None = None,
+        max_deadline_s: float | None = 30.0,
+        hang_timeout_s: float | None = 10.0,
+        retry_after_s: float = 1.0,
+        max_body_bytes: int = 1 << 20,
+        cache_dir: str | Path | None = None,
+        state_dir: str | Path | None = None,
+        fault_plan: FaultPlan | None = None,
+    ):
+        self.state = ServiceState(
+            model=model, cache_dir=cache_dir, state_dir=state_dir
+        )
+        self.host = host
+        self.port = port
+        self.default_deadline_s = default_deadline_s
+        self.max_deadline_s = max_deadline_s
+        self.max_body_bytes = max_body_bytes
+        self.pool: EvalWorkerPool | None = None
+        if workers > 0:
+            self.pool = EvalWorkerPool(
+                self.state.model,
+                workers=workers,
+                hang_timeout_s=hang_timeout_s,
+                fault_plan=fault_plan,
+            )
+        self.batcher = Batcher(
+            self.state,
+            pool=self.pool,
+            queue_limit=queue_limit,
+            retry_after_s=retry_after_s,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._started_at: float | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise ServeError("service already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    async def stop(self) -> None:
+        """Stop listening, finish in-flight work, shut the pool down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.batcher.drain()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self.pool is not None:
+            # Blocking joins, but bounded and at shutdown only.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.pool.close
+            )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    # -- connection handling --------------------------------------------------
+
+    def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.ensure_future(self._serve_connection(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _serve_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except _HttpError as exc:
+                    trace_id = obs.gen_trace_id("req-")
+                    await self._write_response(
+                        writer,
+                        exc.status,
+                        _error_body(trace_id, "ProtocolError", str(exc)),
+                        trace_id,
+                        keep_alive=False,
+                    )
+                    return
+                if parsed is None:
+                    return
+                method, path, headers, body = parsed
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                trace_id = headers.get("x-trace-id") or obs.gen_trace_id("req-")
+                status, payload, extra = await self._dispatch(
+                    method, path, body, trace_id
+                )
+                self.state.count("serve.http_responses", status=status)
+                await self._write_response(
+                    writer, status, payload, trace_id, keep_alive, extra
+                )
+                if not keep_alive:
+                    return
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        if len(line) > _MAX_LINE:
+            raise _HttpError(400, "request line too long")
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _HttpError(400, "malformed request line")
+        method, target = parts[0], parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(line) > _MAX_LINE or len(headers) >= _MAX_HEADERS:
+                raise _HttpError(400, "oversized headers")
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _HttpError(400, f"malformed header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        raw_len = headers.get("content-length", "0")
+        try:
+            content_length = int(raw_len)
+            if content_length < 0:
+                raise ValueError
+        except ValueError:
+            raise _HttpError(400, f"bad Content-Length {raw_len!r}") from None
+        if content_length > self.max_body_bytes:
+            raise _HttpError(
+                413,
+                f"body of {content_length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit",
+            )
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        return method, target.split("?", 1)[0], headers, body
+
+    async def _write_response(
+        self,
+        writer,
+        status: int,
+        payload: dict,
+        trace_id: str,
+        keep_alive: bool,
+        extra_headers: dict | None = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"X-Trace-Id: {trace_id}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # -- routing --------------------------------------------------------------
+
+    async def _dispatch(self, method, path, body, trace_id):
+        """Route one request; returns (status, payload, extra_headers)."""
+        with obs.span("serve.request", trace=trace_id, path=path, method=method):
+            if path == "/healthz":
+                if method != "GET":
+                    return self._method_not_allowed(trace_id, "GET")
+                return 200, self._health_payload(trace_id), None
+            if path == "/metrics":
+                if method != "GET":
+                    return self._method_not_allowed(trace_id, "GET")
+                return 200, self.state.metrics.snapshot(), None
+            if path == "/v1/advise":
+                if method != "POST":
+                    return self._method_not_allowed(trace_id, "POST")
+                return await self._advise(body, trace_id)
+            return (
+                404,
+                _error_body(trace_id, "NotFound", f"no route {path!r}"),
+                None,
+            )
+
+    @staticmethod
+    def _method_not_allowed(trace_id, allow):
+        return (
+            405,
+            _error_body(trace_id, "MethodNotAllowed", f"use {allow}"),
+            {"Allow": allow},
+        )
+
+    def _health_payload(self, trace_id: str) -> dict:
+        return {
+            "status": "ok",
+            "schema_version": SERVE_SCHEMA_VERSION,
+            "trace_id": trace_id,
+            "fingerprint": self.state.fingerprint,
+            "uptime_s": (
+                time.monotonic() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            ),
+            "workers": {
+                "configured": self.pool.size if self.pool else 0,
+                "alive": self.pool.workers_alive() if self.pool else 0,
+                "respawns": self.pool.respawns if self.pool else 0,
+            },
+            "warm_size": self.state.warm_size,
+            "active_requests": self.batcher.active,
+        }
+
+    async def _advise(self, body: bytes, trace_id: str):
+        try:
+            try:
+                doc = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ValidationError(
+                    f"body is not valid JSON: {exc}", path="$"
+                ) from None
+            request = validate_advise_request(
+                doc,
+                known_schemes=self.state.known_schemes,
+                max_deadline_s=self.max_deadline_s,
+            )
+            if request.deadline_s is None and self.default_deadline_s:
+                request = dataclasses.replace(
+                    request, deadline_s=self.default_deadline_s
+                )
+            outcome = await self.batcher.submit(request)
+        except ValidationError as exc:
+            self.state.count("serve.rejected", reason="validation")
+            return (
+                400,
+                _error_body(
+                    trace_id, "ValidationError", str(exc), path=exc.path
+                ),
+                None,
+            )
+        except AdmissionError as exc:
+            retry_after = max(1, int(round(exc.retry_after_s)))
+            return (
+                429,
+                _error_body(
+                    trace_id,
+                    "AdmissionError",
+                    str(exc),
+                    retry_after_s=exc.retry_after_s,
+                ),
+                {"Retry-After": str(retry_after)},
+            )
+        except ReproError as exc:
+            self.state.count("serve.errors", type=type(exc).__name__)
+            return (
+                500,
+                _error_body(trace_id, type(exc).__name__, str(exc)),
+                None,
+            )
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            self.state.count("serve.errors", type="internal")
+            return (
+                500,
+                _error_body(
+                    trace_id, "InternalError", f"{type(exc).__name__}: {exc}"
+                ),
+                None,
+            )
+        return (
+            outcome.status,
+            {
+                "trace_id": trace_id,
+                "degraded": outcome.degraded,
+                "degraded_reason": outcome.degraded_reason,
+                "coalesced": outcome.coalesced,
+                "advice": outcome.payload,
+            },
+            None,
+        )
+
+
+class ThreadedService:
+    """Run an :class:`AdvisorService` on a dedicated event-loop thread.
+
+    The test harness and the closed-loop benchmark boot the service
+    in-process on an ephemeral port::
+
+        with ThreadedService(AdvisorService(workers=0)) as svc:
+            conn = http.client.HTTPConnection("127.0.0.1", svc.port)
+
+    ``stop()`` (or context exit) drains in-flight work, shuts the worker
+    pool down and joins the loop thread — zero child processes survive.
+    """
+
+    def __init__(self, service: AdvisorService):
+        self.service = service
+        self._thread = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = None
+        self._boot_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def start(self) -> "ThreadedService":
+        import threading
+
+        self._ready = threading.Event()
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.service.start())
+            except BaseException as exc:  # noqa: BLE001 - reported to starter
+                self._boot_error = exc
+                self._ready.set()
+                loop.close()
+                return
+            self._ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.service.stop())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="advisor-service", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self._boot_error is not None:
+            raise ServeError(
+                f"service failed to start: {self._boot_error}"
+            ) from self._boot_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+
+    def __enter__(self) -> "ThreadedService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,252 @@
+"""Request coalescing, admission control and graceful degradation.
+
+The :class:`Batcher` sits between the HTTP layer and the evaluation
+machinery.  Every concern here is event-loop-confined: :meth:`submit`
+runs on the loop, so the in-flight map and admission counter mutate
+atomically without locks.
+
+* **Coalescing** — requests are keyed by
+  :func:`~repro.serve.schemas.request_key` (canonical request JSON +
+  calibration fingerprint).  The first arrival of a key starts one
+  evaluation job; every identical request arriving while it runs
+  attaches to the same future.  N identical concurrent requests cost
+  exactly one evaluation (the ``serve.evaluations`` counter proves it in
+  tests), and later arrivals after completion hit the warm store
+  instead.
+* **Backpressure** — a bounded admission count: once ``queue_limit``
+  requests are in flight, further submits raise
+  :class:`~repro.errors.AdmissionError`, which the HTTP layer maps to
+  429 with ``Retry-After``.
+* **Degradation** — evaluation prefers the watchdog-guarded worker pool
+  (``refine="auto"``/``"sweep"``); a worker crash or hang degrades *that
+  job only* to the in-process analytic model, marked
+  ``degraded: true`` with a machine-readable reason.  A per-request
+  deadline (:class:`~repro.robust.watchdog.Deadline`) that fires while
+  waiting abandons the shared job for this waiter only and answers 504
+  with an analytic fallback body — the job keeps running for its other
+  waiters and still warms the store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro import obs
+from repro.errors import (
+    AdmissionError,
+    ServeError,
+    WorkerCrashError,
+    WorkerHangError,
+)
+from repro.serve.advisor import advise_payload, evaluate_analytic, plan_configs
+from repro.serve.schemas import AdviseRequest, request_key
+from repro.serve.state import ServiceState
+from repro.serve.workers import EvalWorkerPool
+from repro.robust.watchdog import Deadline
+
+__all__ = ["AdviseOutcome", "Batcher"]
+
+
+@dataclass
+class AdviseOutcome:
+    """What one advise computation produced, plus how it got there."""
+
+    payload: dict
+    degraded: bool = False
+    degraded_reason: str | None = None
+    coalesced: bool = False
+    evaluated_points: int = 0
+
+    @property
+    def status(self) -> int:
+        return 504 if self.degraded_reason == "deadline" else 200
+
+
+class Batcher:
+    """Event-loop-confined request coalescer over the evaluation tiers."""
+
+    def __init__(
+        self,
+        state: ServiceState,
+        pool: EvalWorkerPool | None = None,
+        queue_limit: int = 32,
+        retry_after_s: float = 1.0,
+    ):
+        if queue_limit < 1:
+            raise ServeError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.state = state
+        self.pool = pool
+        self.queue_limit = queue_limit
+        self.retry_after_s = retry_after_s
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._jobs: set[asyncio.Task] = set()
+        self._active = 0
+
+    @property
+    def active(self) -> int:
+        """Requests currently admitted (queued or evaluating)."""
+        return self._active
+
+    async def submit(self, request: AdviseRequest) -> AdviseOutcome:
+        """Admit, coalesce and answer one validated request."""
+        if self._active >= self.queue_limit:
+            self.state.count("serve.rejected", reason="queue_full")
+            raise AdmissionError(
+                f"admission queue full ({self.queue_limit} requests in "
+                f"flight); retry later",
+                retry_after_s=self.retry_after_s,
+            )
+        self._active += 1
+        self.state.count("serve.admitted")
+        self.state.gauge("serve.active_requests", self._active)
+        t0 = time.monotonic()
+        try:
+            deadline = Deadline(request.deadline_s)
+            key = request_key(request, self.state.fingerprint)
+            fut = self._inflight.get(key)
+            coalesced = fut is not None
+            if fut is None:
+                fut = asyncio.get_running_loop().create_future()
+                self._inflight[key] = fut
+                job = asyncio.ensure_future(self._run_job(key, request, fut))
+                self._jobs.add(job)
+                job.add_done_callback(self._jobs.discard)
+            else:
+                self.state.count("serve.coalesced")
+            try:
+                outcome = await asyncio.wait_for(
+                    asyncio.shield(fut), deadline.remaining()
+                )
+            except asyncio.TimeoutError:
+                return await self._deadline_fallback(request)
+            if coalesced:
+                outcome = AdviseOutcome(
+                    payload=outcome.payload,
+                    degraded=outcome.degraded,
+                    degraded_reason=outcome.degraded_reason,
+                    coalesced=True,
+                    evaluated_points=0,
+                )
+            return outcome
+        finally:
+            self._active -= 1
+            self.state.gauge("serve.active_requests", self._active)
+            self.state.observe("serve.request_ms", (time.monotonic() - t0) * 1e3)
+
+    async def drain(self) -> None:
+        """Wait for every in-flight evaluation job to finish (shutdown)."""
+        if self._jobs:
+            await asyncio.gather(*list(self._jobs), return_exceptions=True)
+
+    # -- job side -------------------------------------------------------------
+
+    async def _run_job(
+        self, key: str, request: AdviseRequest, fut: asyncio.Future
+    ) -> None:
+        """Evaluate one unique request and fan the outcome to its waiters."""
+        loop = asyncio.get_running_loop()
+        with obs.span("serve.batch", key=key[:16], points=len(plan_configs(request))):
+            try:
+                outcome = await loop.run_in_executor(
+                    None, self._evaluate_sync, request
+                )
+            except Exception as exc:  # noqa: BLE001 - fanned to waiters
+                if not fut.done():
+                    fut.set_exception(exc)
+                return
+            finally:
+                # Remove *before* resolving: a request arriving after
+                # completion must start a fresh job (which then hits the
+                # warm store), never attach to a finished future.
+                self._inflight.pop(key, None)
+            if not fut.done():
+                fut.set_result(outcome)
+
+    def _evaluate_sync(self, request: AdviseRequest) -> AdviseOutcome:
+        """Blocking evaluation (runs in an executor thread).
+
+        Storage reads/writes go through :class:`ServiceState`; the pool
+        claim inside :meth:`EvalWorkerPool.evaluate` serializes worker
+        access, so concurrent jobs are safe.
+        """
+        configs = plan_configs(request)
+        results, misses = self.state.lookup(request.measure, configs)
+        degraded = False
+        reason: str | None = None
+        evaluated = 0
+        if misses:
+            fresh, degraded, reason = self._evaluate_misses(request, misses)
+            evaluated = len(misses)
+            self.state.count("serve.evaluations")
+            self.state.count("serve.points_evaluated", len(misses))
+            # Degraded results are analytic stand-ins: store them under
+            # "model" semantics only, never as sampled measurements.
+            self.state.store("model" if degraded else request.measure, fresh)
+            results.update(fresh)
+        else:
+            self.state.count("serve.memo_hits")
+        payload = advise_payload(request, results)
+        if degraded:
+            self.state.count("serve.degraded", reason=reason or "unknown")
+        return AdviseOutcome(
+            payload=payload,
+            degraded=degraded,
+            degraded_reason=reason,
+            evaluated_points=evaluated,
+        )
+
+    def _evaluate_misses(self, request, misses):
+        """Evaluate missing points, degrading to analytic on pool failure."""
+        pool_usable = self.pool is not None and self.pool.size > 0
+        if request.refine == "analytic" or (
+            request.refine == "auto" and not pool_usable
+        ):
+            return self._analytic(misses, request), False, None
+        if not pool_usable:
+            # refine == "sweep" but no workers: serve the analytic answer,
+            # marked so the client knows refinement did not happen.
+            return self._analytic(misses, request), True, "no_workers"
+        try:
+            return (
+                self.pool.evaluate(misses, request.measure),
+                False,
+                None,
+            )
+        except WorkerHangError:
+            return self._analytic(misses, request), True, "worker_hang"
+        except (WorkerCrashError, ServeError):
+            return self._analytic(misses, request), True, "worker_crash"
+
+    def _analytic(self, configs, request):
+        sub = AdviseRequest(
+            kernel=request.kernel,
+            size_exp=request.size_exp,
+            schemes=tuple(sorted({c.scheme for c in configs})),
+            placement=request.placement,
+            frequencies=tuple(
+                dict.fromkeys(c.frequency for c in configs)
+            ),
+            measure="model",
+            refine="analytic",
+            objective=request.objective,
+            deadline_s=None,
+        )
+        full = evaluate_analytic(sub, self.state.model)
+        return {cfg.key: full[cfg.key] for cfg in configs}
+
+    # -- deadline path --------------------------------------------------------
+
+    async def _deadline_fallback(self, request: AdviseRequest) -> AdviseOutcome:
+        """Answer a timed-out waiter with an analytic body, marked 504."""
+        self.state.count("serve.deadline_timeouts")
+        loop = asyncio.get_running_loop()
+        results = await loop.run_in_executor(
+            None, evaluate_analytic, request, self.state.model
+        )
+        payload = advise_payload(request, results)
+        self.state.count("serve.degraded", reason="deadline")
+        return AdviseOutcome(
+            payload=payload, degraded=True, degraded_reason="deadline"
+        )

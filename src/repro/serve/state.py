@@ -1,0 +1,167 @@
+"""Shared service state: calibration, warm results, metrics.
+
+One :class:`ServiceState` lives for the life of the service process and
+owns the three storage tiers an advise computation reads through:
+
+1. an in-memory warm map keyed ``(measure, config.key)`` — the hot path;
+2. the content-addressed on-disk :class:`~repro.experiments.sweep.SweepCache`
+   (optional, shared with offline sweeps — the service and ``sfc-repro
+   sweep`` hit the same entries because both address by calibration
+   fingerprint + config key);
+3. a crash-tolerant :class:`~repro.robust.journal.CheckpointJournal`
+   (optional) that records every stored result, so a restarted service
+   reboots warm — replay tolerates a torn tail and discards the journal
+   wholesale when the calibration fingerprint changed.
+
+Metrics live in a service-owned
+:class:`~repro.obs.metrics.MetricsRegistry` (served at ``/metrics``)
+and are *mirrored* to the :mod:`repro.obs` free functions, so an
+operator attaching an ``ObsSession`` sees the same series without the
+service mutating global observability state.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import obs
+from repro.experiments.configs import SampleConfig
+from repro.experiments.results import SampleResult
+from repro.experiments.sweep import (
+    MEASURE_MODES,
+    SweepCache,
+    calibration_fingerprint,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.robust import CheckpointJournal
+from repro.sim.analytic import PerformanceModel
+
+__all__ = ["ServiceState"]
+
+#: Journal record kinds.
+_KIND_BEGIN = "serve_begin"
+_KIND_RESULT = "serve_result"
+
+
+class ServiceState:
+    """Calibration-pinned storage and metrics for one service instance."""
+
+    def __init__(
+        self,
+        model: PerformanceModel | None = None,
+        cache_dir: str | Path | None = None,
+        state_dir: str | Path | None = None,
+    ):
+        self.model = model or PerformanceModel()
+        self.fingerprint = calibration_fingerprint(self.model)
+        self.known_schemes = tuple(sorted(self.model.miss_models))
+        self.metrics = MetricsRegistry()
+        self._warm: dict[tuple[str, str], SampleResult] = {}
+        self._caches: dict[str, SweepCache] = {}
+        if cache_dir is not None:
+            for measure in MEASURE_MODES:
+                self._caches[measure] = SweepCache(
+                    cache_dir, self.fingerprint, measure=measure
+                )
+        self.journal: CheckpointJournal | None = None
+        self.warm_restored = 0
+        self.warm_dropped = 0
+        if state_dir is not None:
+            path = Path(state_dir) / "serve_warm.jsonl"
+            self.journal = CheckpointJournal(path)
+            self._restore_warm()
+
+    # -- metrics --------------------------------------------------------------
+
+    def count(self, name: str, value: int | float = 1, **labels) -> None:
+        self.metrics.count(name, value, **labels)
+        obs.count(name, value, **labels)
+
+    def gauge(self, name: str, value, **labels) -> None:
+        self.metrics.gauge(name, value, **labels)
+        obs.gauge(name, value, **labels)
+
+    def observe(self, name: str, value, **labels) -> None:
+        self.metrics.observe(name, value, **labels)
+        obs.observe(name, value, **labels)
+
+    # -- warm state -----------------------------------------------------------
+
+    def _restore_warm(self) -> None:
+        """Replay the warm journal; wrong-calibration journals start over."""
+        assert self.journal is not None
+        replay = self.journal.replay()
+        self.warm_dropped = replay.dropped
+        records = replay.records
+        if records and not (
+            records[0][0] == _KIND_BEGIN
+            and records[0][1].get("fingerprint") == self.fingerprint
+        ):
+            # Journal belongs to a different calibration (or is malformed
+            # from the first record): its results would be wrong under
+            # this model.  Discard and start a fresh journal.
+            self.journal.path.unlink(missing_ok=True)
+            records = []
+        if not records:
+            self.journal.append(_KIND_BEGIN, {"fingerprint": self.fingerprint})
+            return
+        for kind, payload in records[1:]:
+            if kind != _KIND_RESULT:
+                continue
+            measure = payload.get("measure")
+            if measure not in MEASURE_MODES:
+                continue
+            try:
+                result = SampleResult.from_dict(payload["result"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            self._warm[(measure, result.config.key)] = result
+            self.warm_restored += 1
+
+    # -- storage tiers --------------------------------------------------------
+
+    def lookup(
+        self, measure: str, configs: list[SampleConfig]
+    ) -> tuple[dict[str, SampleResult], list[SampleConfig]]:
+        """Split configs into known results and points needing evaluation.
+
+        Reads warm memory first, then the on-disk cache (a disk hit is
+        promoted into warm memory so it is never re-read).
+        """
+        hits: dict[str, SampleResult] = {}
+        misses: list[SampleConfig] = []
+        cache = self._caches.get(measure)
+        for cfg in configs:
+            warm = self._warm.get((measure, cfg.key))
+            if warm is not None:
+                hits[cfg.key] = warm
+                self.count("serve.store_hits", tier="warm")
+                continue
+            if cache is not None:
+                cached = cache.get(cfg)
+                if cached is not None:
+                    self._warm[(measure, cfg.key)] = cached
+                    hits[cfg.key] = cached
+                    self.count("serve.store_hits", tier="disk")
+                    continue
+            misses.append(cfg)
+        return hits, misses
+
+    def store(self, measure: str, results: dict[str, SampleResult]) -> None:
+        """Write freshly evaluated results through every tier."""
+        cache = self._caches.get(measure)
+        for key, result in results.items():
+            if (measure, key) in self._warm:
+                continue
+            self._warm[(measure, key)] = result
+            if cache is not None:
+                cache.put(result)
+            if self.journal is not None:
+                self.journal.append(
+                    _KIND_RESULT,
+                    {"measure": measure, "result": result.to_dict()},
+                )
+
+    @property
+    def warm_size(self) -> int:
+        return len(self._warm)

@@ -106,6 +106,89 @@ class TestSweepCache:
         cache.put(ExperimentRunner(model).run(SMALL_GRID[0]))
         assert f"v{CACHE_SCHEMA_VERSION}" in str(cache._path(SMALL_GRID[0]))
 
+    def test_get_many_splits_hits_and_misses_in_order(self, tmp_path):
+        model = PerformanceModel()
+        cache = SweepCache(tmp_path, calibration_fingerprint(model))
+        runner = ExperimentRunner(model)
+        cached = [SMALL_GRID[0], SMALL_GRID[2]]
+        cache.put_many([runner.run(c) for c in cached])
+        hits, misses = cache.get_many(SMALL_GRID[:4])
+        assert sorted(hits) == sorted(c.key for c in cached)
+        assert [c.key for c in misses] == [
+            SMALL_GRID[1].key, SMALL_GRID[3].key
+        ]
+
+    def test_put_many_get_many_roundtrip(self, tmp_path):
+        model = PerformanceModel()
+        cache = SweepCache(tmp_path, calibration_fingerprint(model))
+        runner = ExperimentRunner(model)
+        results = [runner.run(c) for c in SMALL_GRID[:4]]
+        cache.put_many(results)
+        hits, misses = cache.get_many(SMALL_GRID[:4])
+        assert misses == []
+        assert all(hits[r.config.key] == r for r in results)
+
+
+class TestServeRequestKey:
+    """Regression: memo/cache keys canonicalize the scheme-candidate SET.
+
+    ``["ho", "mo"]`` and ``["mo", "ho"]`` describe the same advise
+    computation; before canonical ordering they hashed to different
+    keys, splitting the memoized entry and doubling evaluations."""
+
+    def test_scheme_set_order_hits_the_same_entry(self):
+        from repro.serve.schemas import request_key, validate_advise_request
+
+        fp = calibration_fingerprint(PerformanceModel())
+        a = validate_advise_request({"schemes": ["ho", "mo"]})
+        b = validate_advise_request({"schemes": ["mo", "ho"]})
+        c = validate_advise_request({"schemes": ["mo", "ho", "mo"]})
+        assert request_key(a, fp) == request_key(b, fp) == request_key(c, fp)
+
+    def test_distinct_scheme_sets_keep_distinct_entries(self):
+        from repro.serve.schemas import request_key, validate_advise_request
+
+        fp = calibration_fingerprint(PerformanceModel())
+        a = validate_advise_request({"schemes": ["ho", "mo"]})
+        b = validate_advise_request({"schemes": ["ho"]})
+        assert request_key(a, fp) != request_key(b, fp)
+
+
+class TestEvaluateBatch:
+    def test_matches_runner_point_by_point(self):
+        from repro.experiments.sweep import evaluate_batch
+
+        runner = ExperimentRunner()
+        out = evaluate_batch(SMALL_GRID[:4], runner)
+        assert [r.config.key for r in out] == [c.key for c in SMALL_GRID[:4]]
+        assert out == [ExperimentRunner().run(c) for c in SMALL_GRID[:4]]
+
+    def test_step_base_addresses_one_flat_step_space(self):
+        from repro.robust import FaultPlan
+        from repro.experiments.sweep import evaluate_batch
+        from repro.robust.faults import InjectedFault
+
+        plan = FaultPlan.single("transient", worker=0, step=5)
+        runner = ExperimentRunner()
+        # Steps 0-3: below the scheduled step, no fault.
+        evaluate_batch(SMALL_GRID[:4], runner, worker=0, step_base=0,
+                       fault_plan=plan)
+        # Next batch continues the same step space: its second point is
+        # global step 5 and must fire.
+        with pytest.raises(InjectedFault):
+            evaluate_batch(SMALL_GRID[4:8], runner, worker=0, step_base=4,
+                           fault_plan=plan)
+
+    def test_corrupt_fault_punches_a_hole(self):
+        from repro.robust import FaultPlan
+        from repro.experiments.sweep import evaluate_batch
+
+        plan = FaultPlan.single("corrupt", worker=3, step=1)
+        out = evaluate_batch(SMALL_GRID[:3], ExperimentRunner(), worker=3,
+                             fault_plan=plan)
+        assert out[0] is not None and out[2] is not None
+        assert out[1] is None
+
 
 class TestSerialEquivalence:
     def test_bit_identical_to_run_grid(self, tmp_path):

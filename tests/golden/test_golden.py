@@ -94,3 +94,29 @@ class TestSweepGolden:
         golden.check(
             "sweep_8pt_grid", [r.to_dict() for r in results]
         )
+
+
+class TestAdviseGolden:
+    def test_advise_core_payload(self, golden):
+        """The advisor's deterministic core: same request + same
+        calibration -> byte-identical curves and recommendation.  The
+        payload deliberately excludes the service envelope (trace ids,
+        degradation flags), which is per-request by design."""
+        from repro.serve import advise_payload, evaluate_analytic
+        from repro.serve.schemas import validate_advise_request
+        from repro.sim.analytic import PerformanceModel
+
+        request = validate_advise_request(
+            {
+                "schemes": ["ho", "mo", "rm"],
+                "size_exp": 11,
+                "placement": "8d",
+                "frequencies": [1.6, 1.8, 2.2, 2.6, "ondemand"],
+                "objective": "edp",
+            }
+        )
+        model = PerformanceModel()
+        results = evaluate_analytic(request, model)
+        golden.check(
+            "advise_ho_mo_rm_s11_8d_edp", advise_payload(request, results)
+        )

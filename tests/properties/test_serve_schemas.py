@@ -1,0 +1,145 @@
+"""Property-based tests for the advise request schema (Hypothesis).
+
+Two wire-contract invariants, fuzzed rather than enumerated:
+
+* **Round-trip identity** — any accepted document validates to a
+  canonical request whose ``to_dict()`` re-validates to the *same*
+  request, and canonicalization is order/duplication-insensitive for
+  the scheme-candidate set and the frequency list (which is also what
+  keeps the coalescing key stable).
+* **Typed rejection** — any document drawn from a grab-bag of
+  malformed shapes is rejected with a :class:`ValidationError` carrying
+  a machine-readable field path, never a bare exception.
+
+Skips gracefully when Hypothesis is not installed (exercised by the
+dedicated CI job).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.errors import ValidationError  # noqa: E402
+from repro.serve.schemas import (  # noqa: E402
+    request_key,
+    validate_advise_request,
+)
+
+SCHEMES = ("rm", "mo", "ho")
+PLACEMENTS = ("1s", "4s", "8s", "2d", "8d", "16d")
+
+frequencies = st.lists(
+    st.one_of(
+        st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+        st.just("ondemand"),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+documents = st.fixed_dictionaries(
+    {},
+    optional={
+        "kernel": st.just("matmul"),
+        "size_exp": st.integers(min_value=4, max_value=16),
+        "schemes": st.lists(
+            st.sampled_from(SCHEMES), min_size=1, max_size=6
+        ),
+        "placement": st.sampled_from(PLACEMENTS),
+        "frequencies": frequencies,
+        "measure": st.sampled_from(("model", "sampled")),
+        "refine": st.sampled_from(("auto", "sweep", "analytic")),
+        "objective": st.sampled_from(("energy", "time", "edp")),
+        "deadline_s": st.floats(
+            min_value=0.001, max_value=1000.0, allow_nan=False
+        ),
+    },
+)
+
+
+class TestRoundTrip:
+    @given(doc=documents)
+    def test_accepted_requests_reserialize_identically(self, doc):
+        req = validate_advise_request(doc)
+        wire = req.to_dict()
+        again = validate_advise_request(wire)
+        assert again == req
+        assert again.to_dict() == wire
+
+    @given(doc=documents, seed=st.randoms(use_true_random=False))
+    def test_canonicalization_ignores_order_and_duplicates(self, doc, seed):
+        req = validate_advise_request(doc)
+        shuffled = dict(doc)
+        if "schemes" in shuffled:
+            shuffled["schemes"] = shuffled["schemes"] * 2
+            seed.shuffle(shuffled["schemes"])
+        if "frequencies" in shuffled:
+            shuffled["frequencies"] = list(shuffled["frequencies"])
+            seed.shuffle(shuffled["frequencies"])
+        other = validate_advise_request(shuffled)
+        assert other.schemes == req.schemes
+        assert other.frequencies == req.frequencies
+        assert request_key(other, "fp") == request_key(req, "fp")
+
+    @given(doc=documents)
+    def test_config_fanout_is_the_full_cross_product(self, doc):
+        req = validate_advise_request(doc)
+        keys = {c.key for c in req.configs}
+        assert len(keys) == len(req.schemes) * len(req.frequencies)
+
+
+_bad_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=17, max_value=10_000),
+    st.text(min_size=1, max_size=8).filter(
+        lambda s: s
+        not in SCHEMES
+        + PLACEMENTS
+        + ("matmul", "model", "sampled", "auto", "sweep", "analytic",
+           "energy", "time", "edp", "ondemand")
+    ),
+    st.lists(st.integers(), max_size=2),
+)
+
+malformed = st.one_of(
+    # Wrong document type entirely.
+    st.lists(st.integers(), max_size=3),
+    st.text(max_size=8),
+    # A valid-shaped document with one field replaced by garbage.
+    st.tuples(
+        documents,
+        st.sampled_from(
+            (
+                "kernel", "size_exp", "schemes", "placement",
+                "frequencies", "measure", "refine", "objective",
+                "deadline_s",
+            )
+        ),
+        _bad_values,
+    ).map(lambda t: {**t[0], t[1]: t[2]}),
+    # An unknown field.
+    documents.map(lambda d: {**d, "warp_factor": 9}),
+)
+
+
+class TestTypedRejection:
+    @given(doc=malformed)
+    def test_every_rejection_carries_a_field_path(self, doc):
+        try:
+            req = validate_advise_request(doc)
+        except ValidationError as exc:
+            assert isinstance(exc.path, str) and exc.path
+            # The path names the document root or a real field of the
+            # offending document.
+            root = exc.path.split("[", 1)[0]
+            assert exc.path == "$" or root in doc
+            return
+        except Exception as exc:  # noqa: BLE001 - the property under test
+            pytest.fail(
+                f"non-typed rejection {type(exc).__name__}: {exc} for {doc!r}"
+            )
+        # Accepted: the replacement value happened to be valid — then the
+        # round-trip invariant must still hold.
+        assert validate_advise_request(req.to_dict()) == req

@@ -1,4 +1,4 @@
-"""Watchdog unit tests: silence accounting and the hang verdict.
+"""Watchdog/Deadline unit tests: silence accounting and budget expiry.
 
 Timing tests drive an injected fake clock instead of sleeping, so the
 assertions are exact (and immune to loaded-CI scheduling jitter).
@@ -7,7 +7,7 @@ assertions are exact (and immune to loaded-CI scheduling jitter).
 import pytest
 
 from repro.errors import WorkerHangError
-from repro.robust import Watchdog
+from repro.robust import Deadline, Watchdog
 
 
 class FakeClock:
@@ -81,3 +81,51 @@ class TestWatchdog:
             Watchdog(0.0)
         with pytest.raises(SimulationError):
             Watchdog(-1.0)
+
+
+class TestDeadline:
+    """The watchdog's fixed-budget complement: progress never extends it."""
+
+    def test_unbounded_never_expires(self):
+        clock = FakeClock()
+        d = Deadline(None, clock=clock)
+        clock.advance(1e9)
+        assert d.remaining() is None
+        assert not d.expired()
+
+    def test_remaining_counts_down_and_clamps_at_zero(self):
+        clock = FakeClock()
+        d = Deadline(5.0, clock=clock)
+        assert d.remaining() == 5.0
+        clock.advance(3.0)
+        assert d.remaining() == 2.0
+        assert d.elapsed_s == 3.0
+        clock.advance(4.0)
+        assert d.remaining() == 0.0  # never negative
+
+    def test_expiry_is_inclusive_at_the_boundary(self):
+        clock = FakeClock()
+        d = Deadline(5.0, clock=clock)
+        clock.advance(4.999)
+        assert not d.expired()
+        clock.advance(0.001)
+        assert d.expired()
+
+    def test_no_beat_equivalent_exists(self):
+        # The defining contrast with Watchdog: nothing resets the budget.
+        clock = FakeClock()
+        wd = Watchdog(5.0, clock=clock)
+        d = Deadline(5.0, clock=clock)
+        for _ in range(3):
+            clock.advance(2.0)
+            wd.beat()
+        assert not wd.expired()
+        assert d.expired()
+
+    def test_bad_budget_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            Deadline(0.0)
+        with pytest.raises(SimulationError):
+            Deadline(-2.0)

@@ -1,0 +1,80 @@
+"""Service test harness: in-process advisor instances on ephemeral ports.
+
+``serve_factory`` boots an :class:`~repro.serve.AdvisorService` inside a
+:class:`~repro.serve.ThreadedService` (its own event-loop thread, port 0
+→ ephemeral) and guarantees teardown even when a test fails — the
+worker-pool zero-leak property is asserted on every teardown, so any
+test that leaks a child process fails loudly.
+
+Tests talk real HTTP through :class:`HttpClient` (stdlib
+``http.client``), so the request line, headers, status mapping and body
+framing are all exercised black-box.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.serve import AdvisorService, ThreadedService
+
+
+class HttpClient:
+    """Minimal JSON-over-HTTP helper bound to one service port."""
+
+    def __init__(self, port: int, timeout: float = 60.0):
+        self.port = port
+        self.timeout = timeout
+
+    def request(self, method, path, body=None, headers=None, raw_body=None):
+        """One request; returns ``(status, headers-dict, decoded-body)``."""
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", self.port, timeout=self.timeout
+        )
+        try:
+            payload = raw_body
+            if payload is None and body is not None:
+                payload = json.dumps(body)
+            conn.request(method, path, body=payload, headers=headers or {})
+            resp = conn.getresponse()
+            data = resp.read()
+            decoded = json.loads(data) if data else None
+            return resp.status, {k.lower(): v for k, v in resp.getheaders()}, decoded
+        finally:
+            conn.close()
+
+    def advise(self, doc, **kwargs):
+        return self.request("POST", "/v1/advise", body=doc, **kwargs)
+
+    def healthz(self):
+        return self.request("GET", "/healthz")
+
+    def metrics(self):
+        return self.request("GET", "/metrics")
+
+
+@pytest.fixture
+def serve_factory():
+    """Boot configured advisor services; tear every one down after the test.
+
+    Returns a callable: ``service, client = serve_factory(**kwargs)``
+    with ``kwargs`` forwarded to :class:`AdvisorService`.
+    """
+    booted: list[tuple[AdvisorService, ThreadedService]] = []
+
+    def boot(**kwargs):
+        service = AdvisorService(**kwargs)
+        threaded = ThreadedService(service).start()
+        booted.append((service, threaded))
+        return service, HttpClient(threaded.port)
+
+    yield boot
+
+    leaks = []
+    for service, threaded in booted:
+        threaded.stop()
+        if service.pool is not None:
+            leaks.extend(service.pool.child_pids())
+    assert not leaks, f"service shutdown leaked child processes: {leaks}"

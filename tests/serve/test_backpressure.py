@@ -1,0 +1,122 @@
+"""Backpressure: bounded admission (429) and per-request deadlines (504).
+
+Slowness is injected deterministically with ``slow`` fault specs, so
+"the queue is full" and "the deadline fired" are arranged states, not
+races: the in-flight request is provably still evaluating when the
+probe requests arrive.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.robust import FaultPlan, FaultSpec
+
+REQ = {
+    "schemes": ["ho", "mo"],
+    "frequencies": [1.8, 2.6],
+    "size_exp": 10,
+    "refine": "sweep",
+}
+
+
+def _slow_plan(points: int = 8, delay_s: float = 0.4) -> FaultPlan:
+    """Slow every one of worker 0's first ``points`` steps."""
+    return FaultPlan(
+        specs=tuple(
+            FaultSpec("slow", worker=0, step=s, delay_s=delay_s)
+            for s in range(points)
+        )
+    )
+
+
+class TestAdmissionQueue:
+    def test_queue_full_is_429_with_retry_after(self, serve_factory):
+        service, client = serve_factory(
+            workers=1,
+            fault_plan=_slow_plan(),
+            hang_timeout_s=30.0,
+            queue_limit=1,
+            retry_after_s=2.0,
+        )
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            occupant = pool.submit(client.advise, dict(REQ))
+            time.sleep(0.3)  # occupant is mid-batch (>=1.6s of slow points)
+            status, headers, body = client.advise(
+                {**REQ, "size_exp": 9}
+            )
+            assert status == 429
+            assert headers["retry-after"] == "2"
+            assert body["error"]["type"] == "AdmissionError"
+            assert body["error"]["retry_after_s"] == 2.0
+            occ_status, _, occ_body = occupant.result()
+        assert occ_status == 200
+        assert occ_body["degraded"] is False
+        assert service.state.metrics.counter_value(
+            "serve.rejected", reason="queue_full"
+        ) == 1
+
+    def test_admission_frees_after_completion(self, serve_factory):
+        _, client = serve_factory(workers=0, queue_limit=1)
+        for _ in range(3):
+            status, _, _ = client.advise({**REQ, "refine": "analytic"})
+            assert status == 200
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_is_504_with_degraded_fallback_body(
+        self, serve_factory
+    ):
+        service, client = serve_factory(
+            workers=1,
+            fault_plan=_slow_plan(),
+            hang_timeout_s=30.0,
+            queue_limit=8,
+        )
+        status, _, body = client.advise({**REQ, "deadline_s": 0.2})
+        assert status == 504
+        assert body["degraded"] is True
+        assert body["degraded_reason"] == "deadline"
+        # The fallback body is a complete analytic answer, not an error.
+        advice = body["advice"]
+        assert sorted(advice["curves"]) == ["ho", "mo"]
+        assert advice["recommendation"]["scheme"] in ("ho", "mo")
+        assert service.state.metrics.counter_value(
+            "serve.deadline_timeouts"
+        ) == 1
+        assert service.state.metrics.counter_value(
+            "serve.degraded", reason="deadline"
+        ) == 1
+
+    def test_timed_out_waiter_does_not_kill_the_shared_job(self, serve_factory):
+        # Two waiters on one job; the impatient one times out at 0.2s and
+        # degrades, the patient one rides the job to its real completion.
+        service, client = serve_factory(
+            workers=1,
+            fault_plan=_slow_plan(),
+            hang_timeout_s=30.0,
+            queue_limit=8,
+        )
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            patient = pool.submit(client.advise, dict(REQ))
+            time.sleep(0.3)
+            impatient = pool.submit(
+                client.advise, {**REQ, "deadline_s": 0.2}
+            )
+            imp_status, _, imp_body = impatient.result()
+            pat_status, _, pat_body = patient.result()
+        assert imp_status == 504
+        assert imp_body["degraded"] is True
+        assert pat_status == 200
+        assert pat_body["degraded"] is False
+
+    def test_server_default_deadline_applies(self, serve_factory):
+        _, client = serve_factory(
+            workers=1,
+            fault_plan=_slow_plan(),
+            hang_timeout_s=30.0,
+            default_deadline_s=0.2,
+        )
+        status, _, body = client.advise(dict(REQ))
+        assert status == 504
+        assert body["degraded_reason"] == "deadline"
+        assert body["advice"]["request"]["deadline_s"] == 0.2

@@ -1,0 +1,109 @@
+"""The churn proof (ISSUE 10 acceptance): one storm, every guarantee.
+
+64 seeded concurrent advise requests (drawn from 12 unique workloads)
+against a 2-worker service whose fault plan crashes one worker's first
+batch.  A single test asserts the full contract:
+
+* 64 well-formed responses, zero connection errors;
+* at least one response is a marked analytic fallback
+  (``degraded: true``) — the crashed batch;
+* every response answers *its* request (canonical echo match, no
+  cross-request bleed);
+* coalescing holds: strictly fewer evaluations than requests;
+* the service stays healthy (replacement worker alive) and shutdown
+  leaks zero child processes.
+"""
+
+import multiprocessing
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.robust import FaultPlan
+
+N_REQUESTS = 64
+SEED = 1107
+
+
+def _unique_workloads():
+    """Twelve unique advise documents, each fanning to >= 4 points."""
+    docs = []
+    for schemes in (["rm", "mo"], ["mo", "ho"], ["rm", "ho"], ["rm", "mo", "ho"]):
+        for size_exp in (8, 9, 10):
+            docs.append(
+                {
+                    "schemes": schemes,
+                    "size_exp": size_exp,
+                    "frequencies": [1.8, 2.6],
+                    "refine": "sweep",
+                }
+            )
+    return docs
+
+
+class TestChurn:
+    def test_storm_with_worker_crash_holds_every_guarantee(
+        self, serve_factory
+    ):
+        service, client = serve_factory(
+            workers=2,
+            fault_plan=FaultPlan.single("crash", worker=0, step=0),
+            hang_timeout_s=10.0,
+            queue_limit=N_REQUESTS,
+        )
+        unique = _unique_workloads()
+        rng = random.Random(SEED)
+        docs = [dict(rng.choice(unique)) for _ in range(N_REQUESTS)]
+
+        with ThreadPoolExecutor(max_workers=N_REQUESTS) as pool:
+            futures = [pool.submit(client.advise, doc) for doc in docs]
+            responses = [f.result(timeout=120) for f in futures]
+
+        # 64 well-formed responses, zero connection errors (a transport
+        # failure would have raised out of f.result()).
+        assert len(responses) == N_REQUESTS
+        degraded = 0
+        for doc, (status, headers, body) in zip(docs, responses):
+            assert status == 200
+            assert headers["x-trace-id"] == body["trace_id"]
+            advice = body["advice"]
+            # No cross-request bleed: the echoed canonical request is
+            # *this* request, and the curves cover exactly its schemes.
+            assert advice["request"]["size_exp"] == doc["size_exp"]
+            assert advice["request"]["schemes"] == sorted(set(doc["schemes"]))
+            assert sorted(advice["curves"]) == sorted(set(doc["schemes"]))
+            for scheme in doc["schemes"]:
+                assert len(advice["curves"][scheme]["seconds"]) == 2
+            if body["degraded"]:
+                degraded += 1
+                assert body["degraded_reason"] in (
+                    "worker_crash",
+                    "worker_hang",
+                )
+
+        # The crashed batch produced at least one marked fallback.
+        assert degraded >= 1
+
+        # Coalescing: strictly fewer evaluations than requests (at most
+        # one per unique workload).
+        evaluations = service.state.metrics.counter_value("serve.evaluations")
+        assert 0 < evaluations <= len(unique) < N_REQUESTS
+
+        # The service came out of the storm healthy: the dead worker was
+        # replaced (fresh id), both slots alive, nothing still queued.
+        status, _, health = client.healthz()
+        assert status == 200
+        assert health["workers"]["alive"] == 2
+        assert health["workers"]["respawns"] >= 1
+        assert health["active_requests"] == 0
+
+        # Zero leaked children: the pool's own inventory must match two
+        # live replacements, and nothing else from this test survives
+        # shutdown (serve_factory's teardown re-asserts child_pids()).
+        assert len(service.pool.child_pids()) == 2
+        pool_pids = set(service.pool.child_pids())
+        stray = [
+            p.pid
+            for p in multiprocessing.active_children()
+            if p.pid not in pool_pids
+        ]
+        assert stray == []

@@ -1,0 +1,163 @@
+"""Black-box HTTP contract of the advisor service.
+
+Every test here speaks real HTTP against an in-process service on an
+ephemeral port: happy path, the typed rejection bodies, the protocol
+edges (404/405/413, malformed framing) and the shapes of ``/healthz``
+and ``/metrics``.
+"""
+
+import json
+
+from repro.serve.schemas import SERVE_SCHEMA_VERSION
+
+REQ = {"schemes": ["ho", "mo"], "frequencies": [1.8, 2.6], "size_exp": 10}
+
+
+class TestAdviseHappyPath:
+    def test_advise_returns_curves_and_recommendation(self, serve_factory):
+        _, client = serve_factory(workers=0)
+        status, headers, body = client.advise(REQ)
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        assert body["degraded"] is False
+        assert body["degraded_reason"] is None
+        advice = body["advice"]
+        assert advice["schema_version"] == SERVE_SCHEMA_VERSION
+        # Canonical echo: scheme set sorted, frequencies ascending.
+        assert advice["request"]["schemes"] == ["ho", "mo"]
+        assert advice["request"]["frequencies"] == [1.8, 2.6]
+        assert sorted(advice["curves"]) == ["ho", "mo"]
+        for curve in advice["curves"].values():
+            for series in (
+                "frequencies", "seconds", "freq_ghz", "llc_misses",
+                "package_j", "pp0_j", "dram_j", "total_j", "edp",
+            ):
+                assert len(curve[series]) == 2
+        rec = advice["recommendation"]
+        assert rec["scheme"] in ("ho", "mo")
+        assert rec["objective"] == "energy"
+        assert rec["objective_value"] > 0
+
+    def test_recommendation_is_argmin_of_objective(self, serve_factory):
+        _, client = serve_factory(workers=0)
+        status, _, body = client.advise({**REQ, "objective": "time"})
+        assert status == 200
+        advice = body["advice"]
+        best = min(
+            min(c["seconds"]) for c in advice["curves"].values()
+        )
+        assert advice["recommendation"]["seconds"] == best
+
+    def test_trace_id_header_present_and_echoed(self, serve_factory):
+        _, client = serve_factory(workers=0)
+        _, headers, body = client.advise(REQ)
+        assert headers["x-trace-id"] == body["trace_id"]
+        # A client-supplied trace id rides through untouched.
+        status, headers, body = client.advise(
+            REQ, headers={"X-Trace-Id": "client-abc"}
+        )
+        assert status == 200
+        assert headers["x-trace-id"] == "client-abc"
+        assert body["trace_id"] == "client-abc"
+
+    def test_permuted_scheme_order_gets_identical_advice(self, serve_factory):
+        _, client = serve_factory(workers=0)
+        _, _, a = client.advise({**REQ, "schemes": ["ho", "mo"]})
+        _, _, b = client.advise({**REQ, "schemes": ["mo", "ho"]})
+        assert a["advice"] == b["advice"]
+
+
+class TestTypedRejections:
+    def test_unknown_scheme_is_400_with_field_path(self, serve_factory):
+        _, client = serve_factory(workers=0)
+        status, _, body = client.advise({**REQ, "schemes": ["ho", "zorder"]})
+        assert status == 400
+        assert body["error"]["type"] == "ValidationError"
+        assert body["error"]["path"] == "schemes[1]"
+        assert "zorder" in body["error"]["message"]
+
+    def test_malformed_json_is_400_at_document_root(self, serve_factory):
+        _, client = serve_factory(workers=0)
+        status, _, body = client.request(
+            "POST", "/v1/advise", raw_body="{not json"
+        )
+        assert status == 400
+        assert body["error"]["type"] == "ValidationError"
+        assert body["error"]["path"] == "$"
+
+    def test_unknown_field_is_rejected(self, serve_factory):
+        _, client = serve_factory(workers=0)
+        status, _, body = client.advise({**REQ, "turbo": True})
+        assert status == 400
+        assert body["error"]["path"] == "turbo"
+
+    def test_non_object_body_is_400(self, serve_factory):
+        _, client = serve_factory(workers=0)
+        status, _, body = client.advise([1, 2, 3])
+        assert status == 400
+        assert body["error"]["path"] == "$"
+
+
+class TestProtocolEdges:
+    def test_unknown_route_is_404(self, serve_factory):
+        _, client = serve_factory(workers=0)
+        status, _, body = client.request("GET", "/v2/advise")
+        assert status == 404
+        assert body["error"]["type"] == "NotFound"
+
+    def test_wrong_method_is_405_with_allow(self, serve_factory):
+        _, client = serve_factory(workers=0)
+        status, headers, body = client.request("GET", "/v1/advise")
+        assert status == 405
+        assert headers["allow"] == "POST"
+        status, headers, _ = client.request("POST", "/healthz", body={})
+        assert status == 405
+        assert headers["allow"] == "GET"
+
+    def test_oversized_body_is_413(self, serve_factory):
+        _, client = serve_factory(workers=0, max_body_bytes=256)
+        big = {"schemes": ["ho"], "placement": "x" * 512}
+        status, _, body = client.advise(big)
+        assert status == 413
+        assert body["error"]["type"] == "ProtocolError"
+
+    def test_keep_alive_serves_multiple_requests(self, serve_factory):
+        import http.client
+
+        _, client = serve_factory(workers=0)
+        conn = http.client.HTTPConnection("127.0.0.1", client.port, timeout=60)
+        try:
+            for _ in range(3):
+                conn.request("POST", "/v1/advise", body=json.dumps(REQ))
+                resp = conn.getresponse()
+                assert resp.status == 200
+                resp.read()
+        finally:
+            conn.close()
+
+
+class TestHealthAndMetrics:
+    def test_healthz_shape(self, serve_factory):
+        service, client = serve_factory(workers=0)
+        status, _, body = client.healthz()
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["fingerprint"] == service.state.fingerprint
+        assert body["workers"] == {"configured": 0, "alive": 0, "respawns": 0}
+        assert body["uptime_s"] >= 0
+        assert body["active_requests"] == 0
+
+    def test_metrics_snapshot_shape_and_counters(self, serve_factory):
+        _, client = serve_factory(workers=0)
+        client.advise(REQ)
+        client.advise(REQ)
+        status, _, snap = client.metrics()
+        assert status == 200
+        assert snap["v"] == 1
+        assert set(snap) == {"v", "counters", "gauges", "histograms"}
+        assert snap["counters"]["serve.admitted"] == 2
+        # Identical repeat hits the warm store: one evaluation, one memo hit.
+        assert snap["counters"]["serve.evaluations"] == 1
+        assert snap["counters"]["serve.memo_hits"] == 1
+        assert snap["counters"]["serve.http_responses{status=200}"] >= 2
+        assert "serve.request_ms" in snap["histograms"]
