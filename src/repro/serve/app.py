@@ -51,6 +51,7 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    501: "Not Implemented",
     504: "Gateway Timeout",
 }
 
@@ -210,8 +211,18 @@ class AdvisorService:
             except (ConnectionError, asyncio.CancelledError):
                 pass
 
+    @staticmethod
+    async def _readline(reader):
+        # StreamReader.readline raises ValueError (LimitOverrunError)
+        # for a line past the stream's 64 KiB buffer limit — surface it
+        # as a 400, not an unhandled task exception.
+        try:
+            return await reader.readline()
+        except ValueError:
+            raise _HttpError(400, "request or header line too long") from None
+
     async def _read_request(self, reader):
-        line = await reader.readline()
+        line = await self._readline(reader)
         if not line:
             return None
         if len(line) > _MAX_LINE:
@@ -222,7 +233,7 @@ class AdvisorService:
         method, target = parts[0], parts[1]
         headers: dict[str, str] = {}
         while True:
-            line = await reader.readline()
+            line = await self._readline(reader)
             if line in (b"\r\n", b"\n", b""):
                 break
             if len(line) > _MAX_LINE or len(headers) >= _MAX_HEADERS:
@@ -231,6 +242,10 @@ class AdvisorService:
             if not sep:
                 raise _HttpError(400, f"malformed header line {line!r}")
             headers[name.strip().lower()] = value.strip()
+        if "transfer-encoding" in headers:
+            # Only Content-Length framing is implemented; treating a
+            # chunked body as empty would desync the keep-alive stream.
+            raise _HttpError(501, "Transfer-Encoding is not supported")
         raw_len = headers.get("content-length", "0")
         try:
             content_length = int(raw_len)

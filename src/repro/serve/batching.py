@@ -200,10 +200,19 @@ class Batcher:
     def _evaluate_misses(self, request, misses):
         """Evaluate missing points, degrading to analytic on pool failure."""
         pool_usable = self.pool is not None and self.pool.size > 0
+        # For measure="model" the analytic model IS the answer; for any
+        # other measure an analytic evaluation is a stand-in that must be
+        # marked degraded so _evaluate_sync stores it under "model"
+        # semantics, never in the requested (e.g. sampled) tier.
+        standin = request.measure != "model"
         if request.refine == "analytic" or (
             request.refine == "auto" and not pool_usable
         ):
-            return self._analytic(misses, request), False, None
+            return (
+                self._analytic(misses, request),
+                standin,
+                "analytic_fallback" if standin else None,
+            )
         if not pool_usable:
             # refine == "sweep" but no workers: serve the analytic answer,
             # marked so the client knows refinement did not happen.

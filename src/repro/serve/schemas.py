@@ -138,13 +138,18 @@ def request_key(request: AdviseRequest, fingerprint: str) -> str:
     Canonical request JSON + the calibration fingerprint: identical
     concurrent requests coalesce onto one evaluation, and recalibrating
     the model invalidates every memoized answer — the same discipline as
-    the :class:`~repro.experiments.sweep.SweepCache`.  ``deadline_s`` and
-    ``refine`` are per-call execution hints, not part of the answer, so
-    they are excluded.
+    the :class:`~repro.experiments.sweep.SweepCache`.  ``deadline_s`` is
+    a per-call execution hint, never part of the answer, so it is always
+    excluded.  ``refine`` is a hint only under ``measure="model"`` (the
+    analytic model answers either way); for any other measure it decides
+    the evaluation semantics (pool-refined vs analytic stand-in), so it
+    stays in the key — a ``refine="sweep"`` request must never coalesce
+    onto a concurrent analytic job and silently receive stand-in data.
     """
     doc = request.to_dict()
     del doc["deadline_s"]
-    del doc["refine"]
+    if doc["measure"] == "model":
+        del doc["refine"]
     blob = json.dumps(
         {"schema": SERVE_SCHEMA_VERSION, "fingerprint": fingerprint, "request": doc},
         sort_keys=True,

@@ -79,7 +79,7 @@ def _serve_worker_main(
         out: list[SampleResult | None] = []
         last_beat = time.monotonic()
         try:
-            for i, cfg in enumerate(configs):
+            for cfg in configs:
                 out.extend(
                     evaluate_batch(
                         [cfg],
@@ -87,18 +87,22 @@ def _serve_worker_main(
                         measure,
                         sample_hz,
                         worker=worker_id,
-                        step_base=steps + i,
+                        step_base=steps,
                         fault_plan=fault_plan,
                     )
                 )
+                steps += 1
                 now = time.monotonic()
                 if now - last_beat >= heartbeat_s:
                     result_q.put(("hb", worker_id))
                     last_beat = now
-            steps += len(configs)
             result_q.put(("ok", worker_id, task_id, out))
         except BaseException as exc:  # noqa: BLE001 - forwarded to parent
-            steps += len(configs)
+            # Only the points actually reached consumed steps; the one
+            # that raised consumed exactly one more.  Advancing by the
+            # full batch here would skip step addresses, making faults
+            # scheduled in the gap unreachable for this worker.
+            steps += 1
             try:
                 result_q.put(
                     ("err", worker_id, task_id, f"{type(exc).__name__}: {exc}")

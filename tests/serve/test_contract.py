@@ -13,6 +13,22 @@ from repro.serve.schemas import SERVE_SCHEMA_VERSION
 REQ = {"schemes": ["ho", "mo"], "frequencies": [1.8, 2.6], "size_exp": 10}
 
 
+def _raw_request(port, blob):
+    """Send raw bytes on a fresh connection; return everything received."""
+    import socket
+
+    with socket.create_connection(("127.0.0.1", port), timeout=60) as sock:
+        sock.sendall(blob)
+        sock.shutdown(socket.SHUT_WR)
+        chunks = []
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    return b"".join(chunks)
+
+
 class TestAdviseHappyPath:
     def test_advise_returns_curves_and_recommendation(self, serve_factory):
         _, client = serve_factory(workers=0)
@@ -120,6 +136,38 @@ class TestProtocolEdges:
         status, _, body = client.advise(big)
         assert status == 413
         assert body["error"]["type"] == "ProtocolError"
+
+    def test_line_past_stream_limit_is_400_not_a_dead_task(
+        self, serve_factory
+    ):
+        # A request line past asyncio's 64 KiB StreamReader limit makes
+        # readline raise ValueError before the _MAX_LINE check runs; the
+        # server must answer 400 and close, not drop the connection with
+        # an unhandled task exception.
+        _, client = serve_factory(workers=0)
+        raw = _raw_request(
+            client.port, b"GET /" + b"a" * 66000 + b" HTTP/1.1\r\n\r\n"
+        )
+        assert raw.startswith(b"HTTP/1.1 400 ")
+        assert b"ProtocolError" in raw
+        status, _, _ = client.healthz()
+        assert status == 200
+
+    def test_transfer_encoding_is_rejected_not_desynced(self, serve_factory):
+        # Chunked framing is not implemented; treating the body as empty
+        # would desync the keep-alive stream, so the request is refused.
+        _, client = serve_factory(workers=0)
+        raw = _raw_request(
+            client.port,
+            b"POST /v1/advise HTTP/1.1\r\n"
+            b"Host: t\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"\r\n",
+        )
+        assert raw.startswith(b"HTTP/1.1 501 ")
+        assert b"Transfer-Encoding" in raw
+        status, _, _ = client.healthz()
+        assert status == 200
 
     def test_keep_alive_serves_multiple_requests(self, serve_factory):
         import http.client

@@ -123,6 +123,50 @@ class TestRefineModes:
         _, _, health = client.healthz()
         assert health["workers"]["respawns"] == 0
 
+    def test_analytic_refine_of_sampled_measure_is_marked_degraded(
+        self, serve_factory
+    ):
+        # Analytic numbers answering a sampled-measure request are model
+        # stand-ins whatever path produced them: the response must say
+        # so, and the sampled tier must not be poisoned (a later sampled
+        # request re-evaluates instead of reading mislabeled model data).
+        service, client = serve_factory(workers=0)
+        doc = {**REQ, "measure": "sampled", "refine": "analytic"}
+        status, _, body = client.advise(dict(doc))
+        assert status == 200
+        assert body["degraded"] is True
+        assert body["degraded_reason"] == "analytic_fallback"
+        evals = service.state.metrics.counter_value("serve.evaluations")
+        _, _, again = client.advise(dict(doc))
+        assert again["degraded"] is True
+        assert (
+            service.state.metrics.counter_value("serve.evaluations")
+            == evals + 1
+        )
+
+    def test_auto_refine_of_sampled_measure_without_pool_is_degraded(
+        self, serve_factory
+    ):
+        # The default workers=0 config resolves refine="auto" to the
+        # analytic path; for a sampled measure that is a stand-in too.
+        _, client = serve_factory(workers=0)
+        status, _, body = client.advise(
+            {**REQ, "measure": "sampled", "refine": "auto"}
+        )
+        assert status == 200
+        assert body["degraded"] is True
+        assert body["degraded_reason"] == "analytic_fallback"
+
+    def test_analytic_refine_of_model_measure_is_not_degraded(
+        self, serve_factory
+    ):
+        # For measure="model" the analytic model IS the answer.
+        _, client = serve_factory(workers=0)
+        status, _, body = client.advise({**REQ, "refine": "analytic"})
+        assert status == 200
+        assert body["degraded"] is False
+        assert body["degraded_reason"] is None
+
     def test_degraded_sampled_results_are_not_stored_as_sampled(
         self, serve_factory
     ):

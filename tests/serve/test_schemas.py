@@ -120,6 +120,14 @@ class TestRequestKey:
         with_hints = _validate({"deadline_s": 2.0, "refine": "analytic"})
         assert request_key(base, "fp") == request_key(with_hints, "fp")
 
+    def test_refine_splits_keys_for_non_model_measures(self):
+        # Under measure="sampled" refine decides the evaluation semantics
+        # (pool-sampled vs analytic stand-in): a sweep request must not
+        # coalesce onto a concurrent analytic job, or vice versa.
+        sweep = _validate({"measure": "sampled", "refine": "sweep"})
+        analytic = _validate({"measure": "sampled", "refine": "analytic"})
+        assert request_key(sweep, "fp") != request_key(analytic, "fp")
+
     def test_answer_shaping_fields_are_included(self):
         assert request_key(_validate({}), "fp") != request_key(
             _validate({"objective": "edp"}), "fp"
